@@ -1,0 +1,51 @@
+//! The unit of AXI4-Stream transfer.
+
+/// One AXI4-Stream beat: the payload moved by a single VALID/READY handshake.
+///
+/// ThymesisFlow moves 64-byte flits between its internal blocks; for
+/// simulation we carry an opaque 64-bit tag (packet id, beat index, or raw
+/// data) plus the routing fields the NIC stages actually inspect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Beat {
+    /// Opaque payload tag (TDATA stand-in).
+    pub data: u64,
+    /// Routing destination (TDEST): selects a demux/router output port.
+    pub dest: u8,
+    /// Packet delimiter (TLAST): marks the final beat of a packet.
+    pub last: bool,
+}
+
+impl Beat {
+    pub fn new(data: u64) -> Beat {
+        Beat {
+            data,
+            dest: 0,
+            last: true,
+        }
+    }
+
+    pub fn with_dest(mut self, dest: u8) -> Beat {
+        self.dest = dest;
+        self
+    }
+
+    pub fn with_last(mut self, last: bool) -> Beat {
+        self.last = last;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let b = Beat::new(42).with_dest(3).with_last(false);
+        assert_eq!(b.data, 42);
+        assert_eq!(b.dest, 3);
+        assert!(!b.last);
+        let d = Beat::new(1);
+        assert!(d.last, "single-beat packets default to last=true");
+    }
+}

@@ -1,0 +1,66 @@
+//! The clocked-stage abstraction.
+//!
+//! AXI4-Stream transfers data when both `VALID` (upstream has a beat) and
+//! `READY` (downstream can take it) are high on a rising clock edge. The
+//! protocol imposes an asymmetry the simulator exploits:
+//!
+//! * `VALID`/`TDATA` **must not** depend on the same-cycle `READY`
+//!   (a source may not wait for the sink before asserting VALID);
+//! * `READY` **may** depend on the same-cycle `VALID` and data.
+//!
+//! Consequently one forward pass (offers) followed by one backward pass
+//! (readies) evaluates any acyclic stage graph exactly — no fixpoint
+//! iteration — and the handshake fires wherever both ended up high.
+
+use crate::beat::Beat;
+
+/// Maximum ports per stage; the ThymesisFlow pipelines need at most 4-way
+/// fan-in/out, and fixed arrays keep the per-cycle loop allocation-free.
+pub const MAX_PORTS: usize = 4;
+
+/// Per-output offered beats (VALID + TDATA), indexed by output port.
+pub type Offers = [Option<Beat>; MAX_PORTS];
+/// Per-port boolean signals (READY, or "fired"), indexed by port.
+pub type Flags = [bool; MAX_PORTS];
+
+pub const NO_OFFERS: Offers = [None; MAX_PORTS];
+pub const NO_FLAGS: Flags = [false; MAX_PORTS];
+
+/// A hardware block with AXI4-Stream input and output ports.
+///
+/// `cycle` is the global clock-cycle counter (the paper's `COUNTER`); stages
+/// like the delay gate key their behaviour off it.
+pub trait Stage {
+    /// `(inputs, outputs)` port counts; both must be ≤ [`MAX_PORTS`].
+    fn ports(&self) -> (usize, usize);
+
+    /// Combinational forward function: what each output port offers this
+    /// cycle, given what the input ports are offered. Registered-output
+    /// stages (FIFOs, skid buffers) ignore `inputs` and present stored
+    /// state; combinational stages (mux, demux, delay gate) pass through.
+    fn offer(&self, cycle: u64, inputs: &Offers) -> Offers;
+
+    /// Combinational backward function: READY for each *input* port, given
+    /// the same-cycle input offers and downstream READY per output port.
+    fn ready(&self, cycle: u64, inputs: &Offers, out_ready: &Flags) -> Flags;
+
+    /// Rising clock edge. `inputs` carries this cycle's raw input offers
+    /// (for arbiters that register grant decisions); `fired_in[i]` carries
+    /// the beat accepted on input `i` (if its handshake fired);
+    /// `fired_out[o]` is true when output `o` handshook and the stage must
+    /// retire the offered beat.
+    fn clock(&mut self, cycle: u64, inputs: &Offers, fired_in: &Offers, fired_out: &Flags);
+}
+
+/// Helper for single-input single-output pure-wire stages.
+pub fn passthrough_offer(inputs: &Offers) -> Offers {
+    let mut out = NO_OFFERS;
+    out[0] = inputs[0];
+    out
+}
+
+pub fn passthrough_ready(out_ready: &Flags) -> Flags {
+    let mut r = NO_FLAGS;
+    r[0] = out_ready[0];
+    r
+}

@@ -1,0 +1,83 @@
+//! One Criterion benchmark per paper artifact, at the quick profile:
+//! each measures the wall-clock cost of regenerating (a representative
+//! point of) that table or figure, so regressions in any experiment path
+//! are caught. Full-scale regeneration is the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use thymesim_bench::Profile;
+use thymesim_core::experiments::{ablate, apps, contention, dist, resilience, validate};
+use thymesim_sim::Dur;
+
+fn quick() -> Profile {
+    let mut p = Profile::quick();
+    // One point of each figure is enough for perf tracking.
+    p.stream.elements = 16_384;
+    p
+}
+
+fn fig2_fig3_point(c: &mut Criterion) {
+    let p = quick();
+    c.bench_function("fig2_fig3_stream_sweep_point", |b| {
+        b.iter(|| validate::stream_delay_sweep(&p.testbed, &p.stream, &[100]))
+    });
+}
+
+fn fig4_point(c: &mut Criterion) {
+    let p = quick();
+    c.bench_function("fig4_resilience_point", |b| {
+        b.iter(|| resilience::resilience_sweep(&p.testbed, &p.stream, &[1000]))
+    });
+}
+
+fn table1_cell(c: &mut Criterion) {
+    let p = quick();
+    c.bench_function("table1_full", |b| {
+        b.iter(|| apps::table1(&p.testbed, &p.apps))
+    });
+}
+
+fn fig5_point(c: &mut Criterion) {
+    let p = quick();
+    c.bench_function("fig5_sweep_point", |b| {
+        b.iter(|| apps::fig5(&p.testbed, &p.apps, &[1, 200]))
+    });
+}
+
+fn fig6_point(c: &mut Criterion) {
+    let p = quick();
+    c.bench_function("fig6_mcbn_two_instances", |b| {
+        b.iter(|| contention::mcbn(&p.testbed, &p.stream, &[2]))
+    });
+}
+
+fn fig7_point(c: &mut Criterion) {
+    let p = quick();
+    c.bench_function("fig7_mcln_two_lenders", |b| {
+        b.iter(|| contention::mcln(&p.testbed, &p.stream, &[2]))
+    });
+}
+
+fn dist_panel(c: &mut Criterion) {
+    let p = quick();
+    c.bench_function("dist_panel", |b| {
+        b.iter(|| dist::dist_sweep(&p.testbed, &p.stream, Dur::us(20), 7))
+    });
+}
+
+fn ablation_window(c: &mut Criterion) {
+    let p = quick();
+    c.bench_function("ablate_window_point", |b| {
+        b.iter(|| ablate::window_sweep(&p.testbed, &p.stream, 100, &[64]))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = fig2_fig3_point, fig4_point, table1_cell, fig5_point,
+              fig6_point, fig7_point, dist_panel, ablation_window
+}
+criterion_main!(figures);

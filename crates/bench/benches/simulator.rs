@@ -1,0 +1,205 @@
+//! Micro-benchmarks of the simulator's own hot paths: the cycle-level
+//! AXI gate, the analytic gate, the cache, the packet codec, the fabric
+//! engine, and the event queue. These track *simulator* performance
+//! (host time), not simulated results.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use thymesim_delay::{AnalyticGate, ConstPeriod, CycleDelayGate};
+use thymesim_fabric::{DelaySpec, FabricConfig, FabricEngine, Packet};
+use thymesim_mem::{shared_dram, Addr, Cache, CacheConfig, DramConfig};
+use thymesim_sim::{Clock, EventQueue, Time, Xoshiro256};
+
+fn bench_cycle_gate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cycle_gate");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("10k_cycles_period7", |b| {
+        b.iter_batched(
+            || {
+                use thymesim_axi::{Beat, Consumer, Producer, ReadyPattern, StreamSim};
+                let mut sim = StreamSim::new();
+                let p = sim.add(Producer::new((0..1500u64).map(Beat::new)));
+                let gate = sim.add(CycleDelayGate::new(ConstPeriod(7)));
+                let (cns, _rec) = Consumer::new(ReadyPattern::Always);
+                let cns = sim.add(cns);
+                sim.connect(p, 0, gate, 0);
+                sim.connect(gate, 0, cns, 0);
+                sim
+            },
+            |mut sim| sim.run(10_000),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_analytic_gate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analytic_gate");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("100k_grants", |b| {
+        b.iter_batched(
+            || AnalyticGate::new(ConstPeriod(13), Clock::mhz(250)),
+            |mut gate| {
+                let mut t = Time::ZERO;
+                for _ in 0..100_000u64 {
+                    t = gate.pass_one(t);
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("100k_random_accesses", |b| {
+        b.iter_batched(
+            || {
+                (
+                    Cache::new(CacheConfig::tiny()),
+                    Xoshiro256::seed_from_u64(42),
+                )
+            },
+            |(mut cache, mut rng)| {
+                for _ in 0..100_000 {
+                    let a = Addr(rng.below(1 << 22) & !127);
+                    cache.access(a, rng.chance(0.3));
+                }
+                cache.stats
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("100k_sequential_accesses", |b| {
+        b.iter_batched(
+            || Cache::new(CacheConfig::tiny()),
+            |mut cache| {
+                for i in 0..100_000u64 {
+                    cache.access(Addr((i * 8) & ((1 << 22) - 1)), false);
+                }
+                cache.stats
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_packet_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet");
+    let wire = Packet::write_req(1, 2, 3, 4096, bytes::Bytes::from(vec![7u8; 128])).encode();
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("encode_write_req", |b| {
+        b.iter(|| Packet::write_req(1, 2, 3, 4096, bytes::Bytes::from_static(&[7u8; 128])).encode())
+    });
+    g.bench_function("decode_write_req", |b| {
+        b.iter(|| Packet::decode(wire.clone()).unwrap())
+    });
+    g.finish();
+}
+
+fn engine() -> FabricEngine {
+    use thymesim_fabric::{ControlConfig, ControlPlane};
+    let cfg = FabricConfig {
+        delay: DelaySpec::Period(7),
+        ..FabricConfig::default()
+    };
+    let mut e = FabricEngine::new(cfg, shared_dram(DramConfig::default()));
+    let mut cp = ControlPlane::new(ControlConfig::default(), 1 << 30);
+    let res = cp.reserve(1 << 30).expect("capacity");
+    cp.attach(&mut e, Time::ZERO, 0, res).expect("attach");
+    e
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    use thymesim_mem::RemoteBackend;
+    let mut g = c.benchmark_group("fabric");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("10k_fetch_line", |b| {
+        b.iter_batched(
+            engine,
+            |mut e| {
+                let mut t = Time::ZERO;
+                for i in 0..10_000u64 {
+                    t = e.fetch_line(t, Addr((i * 128) & ((1 << 25) - 1)));
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("100k_push_pop", |b| {
+        b.iter_batched(
+            || (EventQueue::<u64>::new(), Xoshiro256::seed_from_u64(1)),
+            |(mut q, mut rng)| {
+                for i in 0..100_000u64 {
+                    q.push(Time::ps(rng.below(1 << 40)), i);
+                    if i % 2 == 1 {
+                        q.pop();
+                    }
+                }
+                while q.pop().is_some() {}
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    use thymesim_bench::Profile;
+    use thymesim_core::prelude::*;
+    let mut g = c.benchmark_group("workloads");
+    g.sample_size(10);
+    let p = {
+        let mut p = Profile::quick();
+        p.stream.elements = 16_384;
+        p
+    };
+    g.bench_function("stream_remote_full_run", |b| {
+        b.iter(|| run_stream_on_testbed(&p.testbed, &p.stream))
+    });
+    g.bench_function("graph500_bfs_remote", |b| {
+        b.iter_batched(
+            || Testbed::build(&p.testbed).unwrap(),
+            |mut tb| {
+                run_graph500(
+                    &mut tb,
+                    &p.apps.graph_reference,
+                    GraphKernel::Bfs,
+                    Placement::Remote,
+                    false,
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("kv_memtier_remote", |b| {
+        b.iter_batched(
+            || Testbed::build(&p.testbed).unwrap(),
+            |mut tb| run_kv(&mut tb, &p.apps.kv, Placement::Remote),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_cycle_gate, bench_analytic_gate, bench_cache,
+              bench_packet_codec, bench_fabric, bench_event_queue,
+              bench_workloads
+}
+criterion_main!(benches);

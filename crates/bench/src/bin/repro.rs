@@ -1,0 +1,268 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p thymesim-bench --bin repro -- all
+//! cargo run --release -p thymesim-bench --bin repro -- fig2 --profile quick
+//! ```
+//!
+//! Subcommands: `validate` (Fig 2 + Fig 3 + §III-B checks), `fig4`,
+//! `table1`, `fig5`, `fig6`, `fig7`, `dist` (the §VII future-work
+//! extension), `ablate` (window / write-back-gating ablations), `all`.
+//!
+//! Profiles trade run time for scale (working sets and caches scale
+//! together so every workload stays memory-bound):
+//! `quick` ≈ seconds, `medium` (default) ≈ a few minutes, `paper` uses
+//! the paper's sizes (10 M-element STREAM, scale-20 Graph500).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use thymesim_bench::{profile_from_args, Profile};
+use thymesim_core::experiments::{
+    ablate, apps, beyond, contention, dist, placement, qos, resilience, sensitivity, validate,
+};
+use thymesim_core::report;
+use thymesim_core::runners::GraphKernel;
+use thymesim_net::LinkConfig;
+use thymesim_sim::Dur;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let profile = profile_from_args(&args);
+    if let Some(dir) = out_dir(&args) {
+        std::fs::create_dir_all(&dir).expect("create --out directory");
+        OUT_DIR.set(dir).ok();
+    }
+    eprintln!("# profile: {} ({})", profile.name, profile.describe());
+
+    match cmd {
+        "validate" | "fig2" | "fig3" => run_validate(&profile),
+        "fig4" => run_fig4(&profile),
+        "table1" => run_table1(&profile),
+        "fig5" => run_fig5(&profile),
+        "fig6" => run_fig6(&profile),
+        "fig7" => run_fig7(&profile),
+        "dist" => run_dist(&profile),
+        "ablate" => run_ablate(&profile),
+        "congestion" => run_congestion(&profile),
+        "topology" => run_topology(&profile),
+        "pooling" => run_pooling(&profile),
+        "qos" => run_qos(&profile),
+        "sensitivity" => run_sensitivity(&profile),
+        "placement" => run_placement(&profile),
+        "list" => {
+            println!("experiment  paper artifact / extension");
+            println!("validate    Fig 2 + Fig 3 + §III-B checks");
+            println!("fig4        Fig 4 reliability sweep");
+            println!("table1      Table I application impact");
+            println!("fig5        Fig 5 degradation sweep");
+            println!("fig6        Fig 6 MCBN contention");
+            println!("fig7        Fig 7 MCLN contention");
+            println!("dist        §VII distribution-driven injection");
+            println!("ablate      window/BDP, write-back gating, KV pipelining");
+            println!("congestion  E11 switched-fabric congestion + emulation fidelity");
+            println!("topology    E11b intra- vs cross-rack borrowing");
+            println!("pooling     E12 §V memory pooling");
+            println!("qos         E13 §IV-D page migration");
+            println!("sensitivity E15 calibration tornado");
+            println!("placement   E16 contention-aware allocator");
+            println!("all         everything above");
+        }
+        "all" => {
+            run_validate(&profile);
+            run_fig4(&profile);
+            run_table1(&profile);
+            run_fig5(&profile);
+            run_fig6(&profile);
+            run_fig7(&profile);
+            run_dist(&profile);
+            run_ablate(&profile);
+            run_congestion(&profile);
+            run_topology(&profile);
+            run_pooling(&profile);
+            run_qos(&profile);
+            run_sensitivity(&profile);
+            run_placement(&profile);
+        }
+        other => {
+            eprintln!(
+                "unknown experiment '{other}'; expected one of: validate fig2 fig3 fig4 \
+                 table1 fig5 fig6 fig7 dist ablate congestion topology pooling qos sensitivity placement all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+static OUT_DIR: std::sync::OnceLock<PathBuf> = std::sync::OnceLock::new();
+
+/// Parse `--out <dir>`: also write each experiment's JSON there.
+fn out_dir(args: &[String]) -> Option<PathBuf> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            return it.next().map(PathBuf::from);
+        }
+        if let Some(rest) = a.strip_prefix("--out=") {
+            return Some(PathBuf::from(rest));
+        }
+    }
+    None
+}
+
+/// Persist an experiment's series as JSON when `--out` was given.
+fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+    if let Some(dir) = OUT_DIR.get() {
+        let path = dir.join(format!("{name}.json"));
+        let mut f = std::fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("create {}: {e}", path.display()));
+        f.write_all(report::to_json(value).as_bytes())
+            .expect("write results json");
+        eprintln!("# wrote {}", path.display());
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n## {title}\n");
+}
+
+fn run_validate(p: &Profile) {
+    banner("Fig. 2 + Fig. 3 — STREAM latency/bandwidth vs PERIOD (lender idle)");
+    let points = validate::stream_delay_sweep(&p.testbed, &p.stream, &validate::FIG2_PERIODS);
+    save_json("fig2_fig3", &points);
+    print!("{}", report::fig23_csv(&points));
+    banner("§III-B validation checks");
+    let v = validate::validate_injection(&points);
+    save_json("validation", &v);
+    print!("{}", report::validation_md(&v));
+}
+
+fn run_fig4(p: &Profile) {
+    banner("Fig. 4 — reliability under heavy delay injection");
+    let points = resilience::resilience_sweep(&p.testbed, &p.stream, &resilience::FIG4_PERIODS);
+    save_json("fig4", &points);
+    print!("{}", report::fig4_md(&points));
+}
+
+fn run_table1(p: &Profile) {
+    banner("Table I — application impact at PERIOD ∈ {1, 1000} vs local memory");
+    let rows = apps::table1(&p.testbed, &p.apps);
+    save_json("table1", &rows);
+    print!("{}", report::table1_md(&rows));
+}
+
+fn run_fig5(p: &Profile) {
+    banner("Fig. 5 — degradation vs PERIOD (baseline: vanilla ThymesisFlow)");
+    let points = apps::fig5(&p.testbed, &p.apps, &apps::FIG5_PERIODS);
+    save_json("fig5", &points);
+    print!("{}", report::fig5_csv(&points));
+}
+
+fn run_fig6(p: &Profile) {
+    banner("Fig. 6 — MCBN: STREAM instances contending at the borrower");
+    let points = contention::mcbn(&p.testbed, &p.stream, &contention::FIG6_COUNTS);
+    save_json("fig6", &points);
+    print!("{}", report::fig6_csv(&points));
+}
+
+fn run_fig7(p: &Profile) {
+    banner("Fig. 7 — MCLN: lender-side contention vs borrower bandwidth");
+    let points = contention::mcln(&p.testbed, &p.stream, &contention::FIG7_COUNTS);
+    save_json("fig7", &points);
+    print!("{}", report::fig7_csv(&points));
+}
+
+fn run_dist(p: &Profile) {
+    banner("§VII future work — distribution-driven delay injection (mean 30 µs)");
+    let points = dist::dist_sweep(&p.testbed, &p.stream, Dur::us(30), 42);
+    save_json("dist", &points);
+    print!("{}", report::dist_md(&points));
+}
+
+fn run_ablate(p: &Profile) {
+    banner("Ablation — NIC window vs BDP (PERIOD = 100)");
+    let points = ablate::window_sweep(&p.testbed, &p.stream, 100, &[32, 64, 128, 256]);
+    println!("window,latency_us,bandwidth_gib_s,bdp_kib");
+    for w in &points {
+        println!(
+            "{},{:.2},{:.3},{:.2}",
+            w.window, w.latency_us, w.bandwidth_gib_s, w.bdp_kib
+        );
+    }
+    banner("Ablation — write-back gating (PERIOD = 100)");
+    let points = ablate::wb_gating(&p.testbed, &p.stream, 100);
+    println!("gate_writebacks,latency_us,elapsed_ms");
+    for w in &points {
+        println!(
+            "{},{:.2},{:.3}",
+            w.gate_writebacks, w.latency_us, w.elapsed_ms
+        );
+    }
+    banner("Ablation — KV pipelining vs delay sensitivity (PERIOD = 1000)");
+    let points = ablate::kv_pipelining(&p.testbed, &p.apps.kv, 1000, &[1, 4, 16]);
+    println!("pipeline_depth,degradation_vs_local");
+    for k in &points {
+        println!("{},{:.3}", k.pipeline_depth, k.degradation);
+    }
+}
+
+fn run_congestion(p: &Profile) {
+    banner("E11 — switched-fabric congestion (pairs sharing one segment)");
+    let points = beyond::congestion_sweep(
+        &p.testbed,
+        &p.stream,
+        LinkConfig::copper_100g(),
+        &[1, 2, 4, 8],
+    );
+    save_json("congestion", &points);
+    print!("{}", report::congestion_csv(&points));
+    banner("E11 — does constant injection emulate congestion?");
+    let r = beyond::emulation_fidelity(&p.testbed, &p.stream, LinkConfig::copper_100g(), 4);
+    save_json("emulation_fidelity", &r);
+    print!("{}", report::emulation_md(&r));
+}
+
+fn run_topology(p: &Profile) {
+    banner("E11b — intra-rack vs cross-rack borrowing (3 background pairs)");
+    use thymesim_net::TreeConfig;
+    let tree = TreeConfig {
+        racks: 2,
+        ..TreeConfig::default()
+    };
+    let points = beyond::rack_topology(&p.testbed, &p.stream, tree, 3);
+    save_json("topology", &points);
+    print!("{}", report::topology_csv(&points));
+}
+
+fn run_pooling(p: &Profile) {
+    banner("E12 — §V memory pooling: bottleneck shifts from network to pool");
+    let mut all = Vec::new();
+    for pool_gb_s in [140.0, 25.0, 8.0] {
+        all.extend(beyond::pooling_sweep(&p.testbed, &p.stream, pool_gb_s, &[1, 2, 4, 8]));
+    }
+    save_json("pooling", &all);
+    print!("{}", report::pooling_csv(&all));
+}
+
+fn run_qos(p: &Profile) {
+    banner("E13 — §IV-D page migration: budgeted hot-array placement, PERIOD=400");
+    let gcfg = &p.apps.graph_reference;
+    let budget = gcfg.edges() * 2 * 4 + (1 << 20); // room for the adjacency array
+    let points = qos::page_migration_study(&p.testbed, gcfg, GraphKernel::Bfs, 400, budget);
+    save_json("qos", &points);
+    print!("{}", report::qos_md(&points));
+}
+
+fn run_sensitivity(p: &Profile) {
+    banner("E15 — calibration sensitivity (tornado over ±50% perturbations)");
+    let rows = sensitivity::tornado(&p.testbed, &p.stream);
+    save_json("sensitivity", &rows);
+    print!("{}", report::sensitivity_csv(&rows));
+}
+
+fn run_placement(p: &Profile) {
+    banner("E16 — contention-aware placement at the control plane");
+    let points = placement::placement_study(&p.testbed, &p.stream, 2, 4);
+    save_json("placement", &points);
+    print!("{}", report::placement_md(&points));
+}

@@ -1,0 +1,203 @@
+//! # thymesim-bench
+//!
+//! The benchmark harness: experiment profiles shared by the `repro`
+//! binary (which regenerates every paper table/figure) and the Criterion
+//! micro-benchmarks (which track the simulator's own performance).
+
+use thymesim_core::prelude::*;
+use thymesim_mem::CacheConfig;
+use thymesim_workloads::graph500::Graph500Config;
+use thymesim_workloads::kv::KvConfig;
+
+/// An experiment scale: testbed + workload sizes, chosen together so
+/// working sets exceed the LLC at every profile.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    pub name: &'static str,
+    pub testbed: TestbedConfig,
+    pub stream: StreamConfig,
+    pub apps: AppScale,
+}
+
+impl Profile {
+    /// Seconds-scale runs: 256 KiB LLC, 64 Ki-element STREAM, scale-12
+    /// Graph500.
+    pub fn quick() -> Profile {
+        let testbed = TestbedConfig::tiny();
+        let mut stream = StreamConfig::tiny();
+        stream.elements = 65_536;
+        let graph = Graph500Config {
+            scale: 12,
+            edgefactor: 16,
+            roots: 2,
+            ..Graph500Config::tiny()
+        };
+        Profile {
+            name: "quick",
+            apps: AppScale {
+                kv: KvConfig::tiny(),
+                graph_parallel: Graph500Config { cores: 32, ..graph },
+                graph_reference: Graph500Config { cores: 4, ..graph },
+            },
+            testbed,
+            stream,
+        }
+    }
+
+    /// Minutes-scale runs: 7.5 MiB LLC, 2 M-element STREAM, scale-16
+    /// Graph500, 20 k-key KV store.
+    pub fn medium() -> Profile {
+        let mut testbed = TestbedConfig::default();
+        let cache = CacheConfig {
+            sets: 4096,
+            ways: 15,
+            line: 128,
+        }; // 7.5 MiB
+        testbed.borrower.cache = cache;
+        testbed.lender.cache = cache;
+        let stream = StreamConfig {
+            elements: 2_000_000,
+            ..StreamConfig::default()
+        };
+
+        let graph = Graph500Config {
+            scale: 16,
+            edgefactor: 16,
+            roots: 2,
+            ..Graph500Config::default()
+        };
+        let kv = KvConfig {
+            keys: 20_000,
+            requests_per_conn: 25,
+            ..KvConfig::default()
+        };
+        Profile {
+            name: "medium",
+            apps: AppScale {
+                kv,
+                graph_parallel: Graph500Config {
+                    cores: 128,
+                    ..graph
+                },
+                graph_reference: Graph500Config { cores: 4, ..graph },
+            },
+            testbed,
+            stream,
+        }
+    }
+
+    /// The paper's sizes: 120 MiB LLC, 10 M-element STREAM (0.24 GiB),
+    /// scale-20 Graph500 (~1 GiB CSR), memtier 4×50 connections.
+    pub fn paper() -> Profile {
+        let testbed = TestbedConfig::default();
+        let stream = StreamConfig::default();
+        let graph = Graph500Config {
+            scale: 20,
+            edgefactor: 16,
+            roots: 4,
+            ..Graph500Config::default()
+        };
+        let kv = KvConfig {
+            keys: 500_000,
+            requests_per_conn: 100,
+            ..KvConfig::default()
+        };
+        Profile {
+            name: "paper",
+            apps: AppScale {
+                kv,
+                graph_parallel: Graph500Config {
+                    cores: 128,
+                    ..graph
+                },
+                graph_reference: Graph500Config { cores: 4, ..graph },
+            },
+            testbed,
+            stream,
+        }
+    }
+
+    pub fn by_name(name: &str) -> Option<Profile> {
+        match name {
+            "quick" => Some(Profile::quick()),
+            "medium" => Some(Profile::medium()),
+            "paper" => Some(Profile::paper()),
+            _ => None,
+        }
+    }
+
+    pub fn describe(&self) -> String {
+        format!(
+            "LLC {} MiB, STREAM {} elements, Graph500 scale {}, KV {} keys",
+            self.testbed.borrower.cache.capacity_bytes() >> 20,
+            self.stream.elements,
+            self.apps.graph_parallel.scale,
+            self.apps.kv.keys,
+        )
+    }
+}
+
+/// Parse `--profile <name>` (or `THYMESIM_PROFILE`); default `medium`.
+pub fn profile_from_args(args: &[String]) -> Profile {
+    let mut name: Option<String> = std::env::var("THYMESIM_PROFILE").ok();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--profile" {
+            name = it.next().cloned();
+        } else if let Some(rest) = a.strip_prefix("--profile=") {
+            name = Some(rest.to_string());
+        }
+    }
+    match name {
+        None => Profile::medium(),
+        Some(n) => Profile::by_name(&n).unwrap_or_else(|| {
+            eprintln!("unknown profile '{n}', expected quick|medium|paper");
+            std::process::exit(2);
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_resolve_by_name() {
+        for n in ["quick", "medium", "paper"] {
+            let p = Profile::by_name(n).unwrap();
+            assert_eq!(p.name, n);
+            assert!(!p.describe().is_empty());
+        }
+        assert!(Profile::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn working_sets_exceed_caches() {
+        for p in [Profile::quick(), Profile::medium(), Profile::paper()] {
+            let cache = p.testbed.borrower.cache.capacity_bytes();
+            let stream_bytes = p.stream.elements * 8 * 3;
+            assert!(
+                stream_bytes > cache,
+                "{}: STREAM {} B fits in {} B cache",
+                p.name,
+                stream_bytes,
+                cache
+            );
+            let graph_bytes = p.apps.graph_parallel.edges() * 2 * 8;
+            assert!(
+                graph_bytes > cache,
+                "{}: graph {} B fits in cache",
+                p.name,
+                graph_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn arg_parsing_picks_profile() {
+        let p = profile_from_args(&["fig2".into(), "--profile".into(), "quick".into()]);
+        assert_eq!(p.name, "quick");
+        let p = profile_from_args(&["--profile=paper".into()]);
+        assert_eq!(p.name, "paper");
+    }
+}

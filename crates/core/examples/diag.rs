@@ -1,0 +1,21 @@
+use thymesim_core::prelude::*;
+fn main() {
+    for gw in [true, false] {
+        let mut cfg = TestbedConfig::tiny().with_period(100);
+        cfg.fabric.gate_writebacks = gw;
+        let mut tb = Testbed::build(&cfg).unwrap();
+        let mut s = StreamConfig::tiny();
+        s.elements = 16384;
+        let rep = run_stream(&mut tb, &s, Placement::Remote);
+        let e = tb.borrower.remote();
+        println!(
+            "gate_wb={gw}: lat {:.2}us bw {:.3} gate_msgs {} reads {} wbs {} elapsed {}",
+            rep.miss_latency_mean.as_us_f64(),
+            rep.best_bandwidth_gib_s(),
+            e.stats.gate_beats,
+            e.stats.reads,
+            e.stats.writebacks,
+            rep.elapsed
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! E10 — ablations of the model's design choices.
+//!
+//! * **Window sweep** — the NIC credit window pins the bandwidth-delay
+//!   product at `window × line`; sweeping it confirms the Fig. 3
+//!   mechanism rather than assuming it.
+//! * **Write-back gating** — the hardware delays *all* egress; an
+//!   injector that gated only demand reads would understate the impact on
+//!   write-heavy phases.
+//! * **KV pipelining** — Table I's "Redis barely notices" hinges on the
+//!   request/response loop hiding memory time behind the network stack.
+//!   memtier's `--pipeline` amortizes the stack per batch, so a pipelined
+//!   Redis is markedly more delay-sensitive: the paper's insight is a
+//!   property of the *deployment*, not of key-value stores per se.
+
+use crate::config::TestbedConfig;
+use crate::runners::{kv_local_baseline, run_kv, run_stream, Placement};
+use crate::testbed::Testbed;
+use rayon::prelude::*;
+use serde::Serialize;
+use thymesim_workloads::kv::KvConfig;
+use thymesim_workloads::stream::StreamConfig;
+
+/// One window-sweep point.
+#[derive(Clone, Debug, Serialize)]
+pub struct WindowPoint {
+    pub window: usize,
+    pub latency_us: f64,
+    pub bandwidth_gib_s: f64,
+    pub bdp_kib: f64,
+}
+
+/// Sweep the NIC transaction window at a fixed PERIOD.
+pub fn window_sweep(
+    base: &TestbedConfig,
+    stream: &StreamConfig,
+    period: u64,
+    windows: &[usize],
+) -> Vec<WindowPoint> {
+    let mut points: Vec<WindowPoint> = windows
+        .par_iter()
+        .map(|&window| {
+            let mut cfg = base.clone().with_period(period);
+            cfg.fabric.window = window;
+            let mut s = *stream;
+            // The issuing side exactly fills the window under test.
+            s.mlp = window;
+            let mut tb = Testbed::build(&cfg).expect("ablation attach");
+            let report = run_stream(&mut tb, &s, Placement::Remote);
+            let reads = tb.borrower.remote().stats.reads;
+            let line = cfg.fabric.line_bytes;
+            let consumed = reads as f64 * line as f64 / report.elapsed.as_secs_f64();
+            WindowPoint {
+                window,
+                latency_us: report.miss_latency_mean.as_us_f64(),
+                bandwidth_gib_s: report.best_bandwidth_gib_s(),
+                bdp_kib: consumed * report.miss_latency_mean.as_secs_f64() / 1024.0,
+            }
+        })
+        .collect();
+    points.sort_by_key(|p| p.window);
+    points
+}
+
+/// Write-back gating ablation result.
+#[derive(Clone, Debug, Serialize)]
+pub struct WbGatingPoint {
+    pub gate_writebacks: bool,
+    pub latency_us: f64,
+    pub elapsed_ms: f64,
+}
+
+/// Compare full egress gating (hardware) vs read-only gating.
+pub fn wb_gating(base: &TestbedConfig, stream: &StreamConfig, period: u64) -> Vec<WbGatingPoint> {
+    [true, false]
+        .iter()
+        .map(|&gate_writebacks| {
+            let mut cfg = base.clone().with_period(period);
+            cfg.fabric.gate_writebacks = gate_writebacks;
+            let mut tb = Testbed::build(&cfg).expect("ablation attach");
+            let report = run_stream(&mut tb, stream, Placement::Remote);
+            WbGatingPoint {
+                gate_writebacks,
+                latency_us: report.miss_latency_mean.as_us_f64(),
+                elapsed_ms: report.elapsed.as_ms_f64(),
+            }
+        })
+        .collect()
+}
+
+/// KV pipelining ablation point.
+#[derive(Clone, Debug, Serialize)]
+pub struct KvPipelinePoint {
+    pub pipeline_depth: u32,
+    /// Degradation at the probed PERIOD vs local memory.
+    pub degradation: f64,
+}
+
+/// Measure Redis-style degradation at `period` across pipeline depths.
+pub fn kv_pipelining(
+    base: &TestbedConfig,
+    kv: &KvConfig,
+    period: u64,
+    depths: &[u32],
+) -> Vec<KvPipelinePoint> {
+    depths
+        .par_iter()
+        .map(|&pipeline_depth| {
+            let cfg = KvConfig {
+                pipeline_depth,
+                ..*kv
+            };
+            let local = kv_local_baseline(&base.borrower, &cfg);
+            let tb_cfg = base.clone().with_period(period);
+            let mut tb = Testbed::build(&tb_cfg).expect("kv ablation attach");
+            let remote = run_kv(&mut tb, &cfg, Placement::Remote);
+            KvPipelinePoint {
+                pipeline_depth,
+                degradation: local.ops_per_sec / remote.ops_per_sec,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_stream() -> StreamConfig {
+        let mut s = StreamConfig::tiny();
+        s.elements = 16_384;
+        s
+    }
+
+    #[test]
+    fn bdp_scales_with_window() {
+        let points = window_sweep(&TestbedConfig::tiny(), &quick_stream(), 100, &[32, 64, 128]);
+        for p in &points {
+            let expect_kib = (p.window * 128) as f64 / 1024.0;
+            let err = (p.bdp_kib - expect_kib).abs() / expect_kib;
+            assert!(
+                err < 0.4,
+                "window {}: BDP {} KiB vs expected {}",
+                p.window,
+                p.bdp_kib,
+                expect_kib
+            );
+        }
+        // Larger window, higher latency at the same PERIOD.
+        assert!(points[2].latency_us > points[0].latency_us * 2.0);
+    }
+
+    #[test]
+    fn pipelining_raises_kv_sensitivity() {
+        let mut kv = KvConfig::tiny();
+        kv.requests_per_conn = 30;
+        kv.value_bytes = 2048;
+        let points = kv_pipelining(&TestbedConfig::tiny(), &kv, 1000, &[1, 8]);
+        let plain = &points[0];
+        let piped = &points[1];
+        assert!(
+            piped.degradation > plain.degradation * 1.5,
+            "pipelined KV should suffer more under the same delay: {points:?}"
+        );
+    }
+
+    #[test]
+    fn read_only_gating_understates_impact() {
+        let points = wb_gating(&TestbedConfig::tiny(), &quick_stream(), 100);
+        let gated = &points[0];
+        let bypass = &points[1];
+        assert!(gated.gate_writebacks && !bypass.gate_writebacks);
+        assert!(
+            bypass.elapsed_ms < gated.elapsed_ms * 0.85,
+            "bypassing write-backs should shorten the run: {} vs {} ms",
+            bypass.elapsed_ms,
+            gated.elapsed_ms
+        );
+        assert!(
+            bypass.latency_us < gated.latency_us,
+            "read latency should drop without write-back slots"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! E6/E7 — resource contention (Figs. 6 and 7, §IV-E).
+//!
+//! * **MCBN** — N STREAM instances on the borrower all using disaggregated
+//!   memory: they compete for the NIC/network and split its bandwidth
+//!   roughly equally (Fig. 6).
+//! * **MCLN** — one borrower STREAM instance over disaggregated memory
+//!   while N STREAM instances hammer the lender's local memory: the
+//!   lender's bus is so much faster than the network that the borrower's
+//!   bandwidth barely moves (Fig. 7).
+
+use crate::config::TestbedConfig;
+use crate::runners::{NodeStream, StreamProc};
+use crate::testbed::Testbed;
+use rayon::prelude::*;
+use serde::Serialize;
+use thymesim_sim::{run_processes, Time};
+use thymesim_workloads::stream::{StreamArrays, StreamConfig, StreamProcess};
+
+/// Instance counts used in the paper's contention figures.
+pub const FIG6_COUNTS: [usize; 4] = [1, 2, 4, 8];
+pub const FIG7_COUNTS: [usize; 5] = [0, 1, 2, 4, 8];
+
+/// One Fig. 6 point.
+#[derive(Clone, Debug, Serialize)]
+pub struct McbnPoint {
+    pub instances: usize,
+    /// Mean STREAM-reported bandwidth per instance, GiB/s.
+    pub per_instance_gib_s: f64,
+    /// Sum across instances.
+    pub aggregate_gib_s: f64,
+}
+
+/// Run MCBN at each instance count.
+pub fn mcbn(base: &TestbedConfig, stream: &StreamConfig, counts: &[usize]) -> Vec<McbnPoint> {
+    let mut points: Vec<McbnPoint> = counts
+        .par_iter()
+        .map(|&n| {
+            assert!(n >= 1);
+            let mut tb = Testbed::build(base).expect("MCBN attach");
+            let mut procs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let arrays = StreamArrays::alloc(&mut tb.remote_arena, stream.elements);
+                arrays.init(&mut tb.borrower);
+                procs.push(StreamProc(StreamProcess::new(
+                    *stream,
+                    arrays,
+                    tb.attach.ready_at,
+                )));
+            }
+            let stats = run_processes(&mut procs, &mut tb.borrower, Time::NEVER);
+            assert_eq!(stats.finished, n, "instances did not finish");
+            let bws: Vec<f64> = procs.iter().map(|p| p.0.mean_bandwidth_gib_s()).collect();
+            let agg: f64 = bws.iter().sum();
+            McbnPoint {
+                instances: n,
+                per_instance_gib_s: agg / n as f64,
+                aggregate_gib_s: agg,
+            }
+        })
+        .collect();
+    points.sort_by_key(|p| p.instances);
+    points
+}
+
+/// One Fig. 7 point.
+#[derive(Clone, Debug, Serialize)]
+pub struct MclnPoint {
+    pub lender_instances: usize,
+    /// The borrower instance's STREAM bandwidth, GiB/s.
+    pub borrower_gib_s: f64,
+    /// Aggregate bandwidth of the lender-side instances, GiB/s.
+    pub lender_aggregate_gib_s: f64,
+}
+
+/// Run MCLN at each lender instance count.
+pub fn mcln(base: &TestbedConfig, stream: &StreamConfig, counts: &[usize]) -> Vec<MclnPoint> {
+    let mut points: Vec<MclnPoint> = counts
+        .par_iter()
+        .map(|&n| {
+            let mut tb = Testbed::build(base).expect("MCLN attach");
+            let mut procs: Vec<NodeStream> = Vec::with_capacity(n + 1);
+            // The measured borrower instance, over disaggregated memory.
+            let arrays = StreamArrays::alloc(&mut tb.remote_arena, stream.elements);
+            arrays.init(&mut tb.borrower);
+            procs.push(NodeStream::Borrower(StreamProcess::new(
+                *stream,
+                arrays,
+                tb.attach.ready_at,
+            )));
+            // Contending instances on the lender's own memory. Lender-side
+            // STREAM keeps a resident working set on its local DRAM;
+            // Graph500-class MLP is irrelevant — they just burn bus
+            // bandwidth.
+            for _ in 0..n {
+                let arrays = StreamArrays::alloc(&mut tb.lender_arena, stream.elements);
+                arrays.init(&mut tb.lender);
+                procs.push(NodeStream::Lender(StreamProcess::new(
+                    *stream,
+                    arrays,
+                    tb.attach.ready_at,
+                )));
+            }
+            let stats = run_processes(&mut procs, &mut tb, Time::NEVER);
+            assert_eq!(stats.finished, n + 1);
+            let borrower_gib_s = procs[0].inner().mean_bandwidth_gib_s();
+            let lender_aggregate_gib_s = procs[1..]
+                .iter()
+                .map(|p| p.inner().mean_bandwidth_gib_s())
+                .sum();
+            MclnPoint {
+                lender_instances: n,
+                borrower_gib_s,
+                lender_aggregate_gib_s,
+            }
+        })
+        .collect();
+    points.sort_by_key(|p| p.lender_instances);
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_stream() -> StreamConfig {
+        let mut s = StreamConfig::tiny();
+        s.elements = 16_384;
+        s
+    }
+
+    #[test]
+    fn mcbn_divides_bandwidth_equally() {
+        let points = mcbn(&TestbedConfig::tiny(), &quick_stream(), &[1, 2, 4]);
+        let solo = points[0].per_instance_gib_s;
+        // Aggregate stays ~flat (the shared bottleneck is saturated);
+        // per-instance bandwidth divides by N.
+        for p in &points {
+            assert!(
+                (p.aggregate_gib_s / points[0].aggregate_gib_s - 1.0).abs() < 0.25,
+                "aggregate should stay ~constant: {points:?}"
+            );
+            let expected = solo / p.instances as f64;
+            let err = (p.per_instance_gib_s - expected).abs() / expected;
+            assert!(
+                err < 0.3,
+                "N={}: per-instance {} vs expected {expected}",
+                p.instances,
+                p.per_instance_gib_s
+            );
+        }
+    }
+
+    #[test]
+    fn mcln_borrower_bandwidth_is_flat() {
+        let points = mcln(&TestbedConfig::tiny(), &quick_stream(), &[0, 2, 4]);
+        let solo = points[0].borrower_gib_s;
+        for p in &points {
+            let drop = 1.0 - p.borrower_gib_s / solo;
+            assert!(
+                drop < 0.10,
+                "lender contention ({} instances) cost the borrower {:.1}% — \
+                 the network, not the lender bus, must be the bottleneck",
+                p.lender_instances,
+                drop * 100.0
+            );
+        }
+        // And the lender instances really did move data.
+        assert!(points.last().unwrap().lender_aggregate_gib_s > 10.0);
+    }
+
+    #[test]
+    fn mcln_lender_instances_share_their_bus() {
+        let points = mcln(&TestbedConfig::tiny(), &quick_stream(), &[1, 4]);
+        let one = points[0].lender_aggregate_gib_s;
+        let four = points[1].lender_aggregate_gib_s;
+        // Four instances move more in aggregate, but less than 4x (the
+        // bus saturates).
+        assert!(four > one, "{points:?}");
+        assert!(four < one * 4.0, "{points:?}");
+    }
+}

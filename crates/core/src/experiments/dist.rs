@@ -1,0 +1,144 @@
+//! E9 — distribution-driven delay injection (the paper's §V limitation
+//! and §VII future work: "injecting delays according to a distribution
+//! instead of fixed values").
+//!
+//! We run STREAM under different per-message delay distributions with the
+//! *same mean* and compare: a constant injector understates tail latency
+//! dramatically relative to heavy-tailed congestion.
+
+use crate::config::TestbedConfig;
+use crate::runners::{run_stream, Placement};
+use crate::testbed::Testbed;
+use serde::Serialize;
+use thymesim_delay::DelayDist;
+use thymesim_fabric::DelaySpec;
+use thymesim_sim::Dur;
+use thymesim_workloads::stream::StreamConfig;
+
+/// One distribution's outcome.
+#[derive(Clone, Debug, Serialize)]
+pub struct DistPoint {
+    pub dist: String,
+    pub mean_injected_us: f64,
+    pub latency_mean_us: f64,
+    pub latency_p99_us: f64,
+    pub bandwidth_gib_s: f64,
+    /// p99 / mean — tail amplification.
+    pub tail_ratio: f64,
+}
+
+/// The standard panel: constant / uniform / exponential / Pareto, all at
+/// the same mean injected delay.
+pub fn standard_panel(mean: Dur, seed: u64) -> Vec<(String, DelayDist)> {
+    let m = mean.as_ns_f64();
+    vec![
+        ("constant".into(), DelayDist::Constant(mean)),
+        (
+            "uniform".into(),
+            DelayDist::Uniform {
+                lo: Dur::from_ns_f64(m * 0.5),
+                hi: Dur::from_ns_f64(m * 1.5),
+            },
+        ),
+        ("exponential".into(), DelayDist::Exponential { mean }),
+        (
+            "pareto".into(),
+            // alpha=2 → mean = 2·xm, so xm = mean/2.
+            DelayDist::Pareto {
+                xm: Dur::from_ns_f64(m / 2.0),
+                alpha: 2.0,
+            },
+        ),
+    ]
+    .into_iter()
+    .map(move |(name, d)| {
+        let _ = seed;
+        (name, d)
+    })
+    .collect()
+}
+
+/// Run STREAM under each distribution.
+pub fn dist_sweep(
+    base: &TestbedConfig,
+    stream: &StreamConfig,
+    mean: Dur,
+    seed: u64,
+) -> Vec<DistPoint> {
+    standard_panel(mean, seed)
+        .into_iter()
+        .map(|(name, dist)| {
+            let mean_injected_us = dist.mean().as_us_f64();
+            // Attach with the vanilla gate (tens-of-µs mean delay would
+            // legitimately blow the discovery budget), then program the
+            // distribution into the injector, as on the real FPGA.
+            let mut tb = Testbed::build(base).expect("vanilla attach");
+            tb.borrower
+                .remote_mut()
+                .set_delay(DelaySpec::PerMessage { dist, seed });
+            let report = run_stream(&mut tb, stream, Placement::Remote);
+            let mean_us = report.miss_latency_mean.as_us_f64();
+            let p99_us = report.miss_latency_p99.as_us_f64();
+            DistPoint {
+                dist: name,
+                mean_injected_us,
+                latency_mean_us: mean_us,
+                latency_p99_us: p99_us,
+                bandwidth_gib_s: report.best_bandwidth_gib_s(),
+                tail_ratio: p99_us / mean_us,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Vec<DistPoint> {
+        let mut scfg = StreamConfig::tiny();
+        scfg.elements = 8192;
+        dist_sweep(&TestbedConfig::tiny(), &scfg, Dur::us(20), 7)
+    }
+
+    #[test]
+    fn all_distributions_run_and_slow_the_fabric() {
+        let points = quick();
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert!(
+                p.latency_mean_us > 10.0,
+                "{}: injected 20us mean must show up, got {} us",
+                p.dist,
+                p.latency_mean_us
+            );
+            assert!(p.bandwidth_gib_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn heavy_tail_amplifies_p99() {
+        let points = quick();
+        let constant = points.iter().find(|p| p.dist == "constant").unwrap();
+        let pareto = points.iter().find(|p| p.dist == "pareto").unwrap();
+        assert!(
+            pareto.tail_ratio > constant.tail_ratio * 1.3,
+            "Pareto tail ratio {} should exceed constant {}",
+            pareto.tail_ratio,
+            constant.tail_ratio
+        );
+    }
+
+    #[test]
+    fn means_are_matched_across_distributions() {
+        let points = quick();
+        for p in &points {
+            assert!(
+                (p.mean_injected_us / 20.0 - 1.0).abs() < 0.05,
+                "{}: mean {} us not matched to 20 us",
+                p.dist,
+                p.mean_injected_us
+            );
+        }
+    }
+}

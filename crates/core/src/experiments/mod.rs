@@ -1,0 +1,13 @@
+//! The paper's experiments (E1–E10 in DESIGN.md §5), one module per
+//! table/figure family.
+
+pub mod ablate;
+pub mod apps;
+pub mod beyond;
+pub mod contention;
+pub mod dist;
+pub mod placement;
+pub mod qos;
+pub mod resilience;
+pub mod sensitivity;
+pub mod validate;

@@ -1,0 +1,276 @@
+//! E16 — contention-aware memory allocation at the control plane.
+//!
+//! The paper's third insight (§IV-E): *"a lender node with multiple
+//! running applications and an idle lender node can be equally viable
+//! candidates for remote memory reservation"* — so a placement policy
+//! that avoids busy lenders buys nothing in the borrowing model. This
+//! experiment integrates that insight into an actual allocator and
+//! verifies both halves:
+//!
+//! * **Borrowing regime** (server-class lender buses): the load-averse
+//!   and load-blind policies deliver the same borrower bandwidth.
+//! * **Pooling regime** (§V, bandwidth-limited pools): the bottleneck
+//!   moves into the pool, the insight inverts, and load-aware placement
+//!   wins — the condition the control plane must watch for.
+
+use crate::config::TestbedConfig;
+use crate::experiments::beyond::MultiPair;
+use crate::testbed::Testbed;
+use serde::Serialize;
+use thymesim_mem::{shared_dram, DramConfig, SharedDram};
+use thymesim_sim::{run_processes, Process, Step, Time};
+use thymesim_workloads::stream::{StreamArrays, StreamConfig, StreamProcess};
+
+/// How the control plane picks a lender for each reservation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum PlacementPolicy {
+    /// First lender with free capacity, ignoring load (what the paper's
+    /// insight licenses).
+    CapacityOnly,
+    /// Spread reservations over the least-loaded lenders.
+    LoadAware,
+}
+
+/// A lender in the pool: a bus plus how many local apps already run there.
+struct Lender {
+    bus: SharedDram,
+    local_apps: usize,
+    reservations: usize,
+}
+
+/// One experiment outcome.
+#[derive(Clone, Debug, Serialize)]
+pub struct PlacementPoint {
+    pub policy: PlacementPolicy,
+    /// "borrowing" (server-class bus) or "pooling" (limited bus).
+    pub regime: String,
+    /// Mean borrower STREAM bandwidth.
+    pub mean_borrower_gib_s: f64,
+    /// Worst borrower (fairness under bad placement).
+    pub min_borrower_gib_s: f64,
+}
+
+/// Lender-side STREAM instances emulating the pre-existing local load.
+struct LenderLoad {
+    lender_idx: usize,
+    p: StreamProcess,
+}
+
+enum AnyProc {
+    Borrower { pair_idx: usize, p: StreamProcess },
+    Lender(LenderLoad),
+}
+
+struct World {
+    pairs: MultiPair,
+    lender_systems: Vec<thymesim_mem::MemSystem<thymesim_mem::NoRemote>>,
+}
+
+impl Process<World> for AnyProc {
+    fn next_time(&self) -> Time {
+        match self {
+            AnyProc::Borrower { p, .. } => p.next_time(),
+            AnyProc::Lender(l) => l.p.next_time(),
+        }
+    }
+    fn step(&mut self, shared: &mut World) -> Step {
+        match self {
+            AnyProc::Borrower { pair_idx, p } => {
+                p.step_on(&mut shared.pairs.testbeds[*pair_idx].borrower)
+            }
+            AnyProc::Lender(l) => p_step(l, shared),
+        }
+    }
+}
+
+fn p_step(l: &mut LenderLoad, shared: &mut World) -> Step {
+    l.p.step_on(&mut shared.lender_systems[l.lender_idx])
+}
+
+/// Run `borrowers` borrowers against a pool of `lenders` lenders, half of
+/// which carry pre-existing local load, under the given policy/regime.
+pub fn placement_run(
+    base: &TestbedConfig,
+    stream: &StreamConfig,
+    borrowers: usize,
+    lenders: usize,
+    lender_bus_gb_s: f64,
+    policy: PlacementPolicy,
+) -> (f64, f64) {
+    assert!(lenders >= 1 && borrowers >= 1);
+    // Build the lender pool: even-indexed lenders are "busy" (2 local
+    // apps), odd-indexed idle.
+    let mut pool: Vec<Lender> = (0..lenders)
+        .map(|i| Lender {
+            bus: shared_dram(DramConfig {
+                bandwidth_bytes_per_sec: lender_bus_gb_s * 1e9,
+                ..base.lender.dram
+            }),
+            local_apps: if i % 2 == 0 { 2 } else { 0 },
+            reservations: 0,
+        })
+        .collect();
+
+    // Place each borrower's reservation.
+    let mut assignment = Vec::with_capacity(borrowers);
+    for _ in 0..borrowers {
+        let idx = match policy {
+            PlacementPolicy::CapacityOnly => {
+                // Round-robin over capacity, blind to load: busy lenders
+                // (even indices) fill first.
+                let i = (0..lenders).min_by_key(|&i| pool[i].reservations * lenders + i);
+                i.unwrap()
+            }
+            PlacementPolicy::LoadAware => {
+                let i = (0..lenders).min_by_key(|&i| pool[i].local_apps + pool[i].reservations * 2);
+                i.unwrap()
+            }
+        };
+        pool[idx].reservations += 1;
+        assignment.push(idx);
+    }
+
+    // Instantiate borrowers on their assigned lender buses.
+    let mut testbeds = Vec::with_capacity(borrowers);
+    for &l in &assignment {
+        let tb = Testbed::build_with_lender_bus(base, Time::ZERO, SharedDram::clone(&pool[l].bus))
+            .expect("placement attach");
+        testbeds.push(tb);
+    }
+    // Lender-side local load shares each lender's bus. The local apps are
+    // long-running services: give them enough repetitions to outlast the
+    // borrowers, or the "busy lender" penalty evaporates mid-run.
+    let mut lender_load_cfg = *stream;
+    lender_load_cfg.ntimes = stream.ntimes * 8;
+    let mut lender_systems = Vec::new();
+    let mut procs: Vec<AnyProc> = Vec::new();
+    for (li, lender) in pool.iter().enumerate() {
+        for _ in 0..lender.local_apps {
+            let map = thymesim_mem::AddressMap::new(
+                base.lender_size,
+                base.fabric.line_bytes,
+                base.fabric.line_bytes,
+            );
+            let mut sys = thymesim_mem::MemSystem::new(
+                map,
+                base.lender.cache,
+                SharedDram::clone(&lender.bus),
+                base.lender.timing,
+                thymesim_mem::NoRemote,
+            );
+            let mut arena = thymesim_mem::Arena::new(thymesim_mem::Addr(0), base.lender_size);
+            let arrays = StreamArrays::alloc(&mut arena, stream.elements);
+            arrays.init(&mut sys);
+            let idx = lender_systems.len();
+            lender_systems.push(sys);
+            procs.push(AnyProc::Lender(LenderLoad {
+                lender_idx: idx,
+                p: StreamProcess::new(lender_load_cfg, arrays, Time::ZERO),
+            }));
+            let _ = li;
+        }
+    }
+    let mut world = World {
+        pairs: MultiPair { testbeds },
+        lender_systems,
+    };
+    for pair_idx in 0..borrowers {
+        let tb = &mut world.pairs.testbeds[pair_idx];
+        let arrays = StreamArrays::alloc(&mut tb.remote_arena, stream.elements);
+        arrays.init(&mut tb.borrower);
+        let start = tb.attach.ready_at;
+        procs.push(AnyProc::Borrower {
+            pair_idx,
+            p: StreamProcess::new(*stream, arrays, start),
+        });
+    }
+    // Run until the borrowers are done; lender services keep running.
+    let stats = run_processes(&mut procs, &mut world, Time::NEVER);
+    let _ = stats;
+
+    let borrower_bw: Vec<f64> = procs
+        .iter()
+        .filter_map(|p| match p {
+            AnyProc::Borrower { p, .. } => Some(p.mean_bandwidth_gib_s()),
+            _ => None,
+        })
+        .collect();
+    let mean = borrower_bw.iter().sum::<f64>() / borrower_bw.len() as f64;
+    let min = borrower_bw.iter().copied().fold(f64::MAX, f64::min);
+    (mean, min)
+}
+
+/// The full study: both policies in both regimes.
+pub fn placement_study(
+    base: &TestbedConfig,
+    stream: &StreamConfig,
+    borrowers: usize,
+    lenders: usize,
+) -> Vec<PlacementPoint> {
+    let mut out = Vec::new();
+    for (regime, bus) in [("borrowing", 140.0), ("pooling", 12.0)] {
+        for policy in [PlacementPolicy::CapacityOnly, PlacementPolicy::LoadAware] {
+            let (mean, min) = placement_run(base, stream, borrowers, lenders, bus, policy);
+            out.push(PlacementPoint {
+                policy,
+                regime: regime.into(),
+                mean_borrower_gib_s: mean,
+                min_borrower_gib_s: min,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_stream() -> StreamConfig {
+        let mut s = StreamConfig::tiny();
+        s.elements = 16_384;
+        s
+    }
+
+    #[test]
+    fn borrowing_regime_policies_are_equivalent() {
+        // 2 borrowers over 4 lenders (2 busy, 2 idle).
+        let points = placement_study(&TestbedConfig::tiny(), &quick_stream(), 2, 4);
+        let blind = points
+            .iter()
+            .find(|p| p.regime == "borrowing" && p.policy == PlacementPolicy::CapacityOnly)
+            .unwrap();
+        let aware = points
+            .iter()
+            .find(|p| p.regime == "borrowing" && p.policy == PlacementPolicy::LoadAware)
+            .unwrap();
+        let gap = (aware.mean_borrower_gib_s - blind.mean_borrower_gib_s).abs()
+            / blind.mean_borrower_gib_s;
+        assert!(
+            gap < 0.05,
+            "the paper's insight: placement load-awareness is moot when \
+             the bus dwarfs the network — gap {:.1}%",
+            gap * 100.0
+        );
+    }
+
+    #[test]
+    fn pooling_regime_rewards_load_awareness() {
+        let points = placement_study(&TestbedConfig::tiny(), &quick_stream(), 2, 4);
+        let blind = points
+            .iter()
+            .find(|p| p.regime == "pooling" && p.policy == PlacementPolicy::CapacityOnly)
+            .unwrap();
+        let aware = points
+            .iter()
+            .find(|p| p.regime == "pooling" && p.policy == PlacementPolicy::LoadAware)
+            .unwrap();
+        assert!(
+            aware.min_borrower_gib_s > blind.min_borrower_gib_s * 1.3,
+            "with pool-class buses, dodging busy lenders must help the \
+             worst-placed borrower: aware {:?} vs blind {:?}",
+            aware,
+            blind
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! E13 — a page-migration QoS mechanism built from the paper's §IV-D
+//! insight: "applications with higher sensitivity to remote memory access
+//! latency can benefit from additional resource allocation such as …
+//! page migration to local memory".
+//!
+//! The study profiles Graph500's per-array access density (accesses per
+//! byte), lets a greedy migrator fill a local-memory budget with the
+//! densest arrays, and measures the JCT improvement under delay —
+//! exactly the decision an OS-level hot-page migrator converges to,
+//! evaluated at object granularity.
+
+use crate::config::TestbedConfig;
+use crate::runners::GraphKernel;
+use crate::testbed::Testbed;
+use serde::Serialize;
+use thymesim_fabric::DelaySpec;
+use thymesim_mem::SimVec;
+use thymesim_sim::Time;
+use thymesim_workloads::graph500::{self, Graph500Config, GraphArray, GraphPlacement};
+
+/// Estimated traffic profile of one CSR array for a BFS/SSSP run.
+#[derive(Clone, Debug, Serialize)]
+pub struct ArrayProfile {
+    pub array: String,
+    pub bytes: u64,
+    /// Estimated accesses over the run.
+    pub accesses: u64,
+    /// Expected to stay LLC-resident (no sustained remote traffic)?
+    pub cache_resident: bool,
+    /// Expected *remote misses* per byte — the migration figure of
+    /// merit. Cache-resident arrays score ~0: they are fetched once and
+    /// served from the LLC thereafter, so migrating them buys nothing.
+    pub density: f64,
+}
+
+/// Estimate per-array remote-miss density from the graph shape and the
+/// LLC size (the same arithmetic an OS extracts from page-heat counters
+/// minus the LLC's filtering).
+pub fn profile_arrays(
+    cfg: &Graph500Config,
+    kernel: GraphKernel,
+    llc_bytes: u64,
+) -> Vec<ArrayProfile> {
+    let n = cfg.vertices();
+    let m2 = cfg.edges() * 2; // directed CSR entries
+    let roots = cfg.roots as u64;
+    // Per root: every reached vertex reads its row bounds (2 accesses);
+    // every directed edge is scanned once (BFS) or ~1.3x (SSSP
+    // re-relaxation); the output array is touched 1-2x per edge.
+    let relax_factor = match kernel {
+        GraphKernel::Bfs => 1.0,
+        GraphKernel::Sssp => 1.3,
+    };
+    let mk = |array: GraphArray, bytes: u64, accesses: f64| {
+        let accesses = accesses as u64;
+        // An array well under the LLC's capacity is fetched once (cold
+        // misses) and then served on-chip.
+        let cache_resident = bytes * 2 <= llc_bytes;
+        let density = if cache_resident {
+            // Cold misses only: one per line over the whole run.
+            (bytes as f64 / 128.0) / bytes.max(1) as f64
+        } else {
+            accesses as f64 / bytes.max(1) as f64
+        };
+        ArrayProfile {
+            array: format!("{array:?}"),
+            bytes,
+            accesses,
+            cache_resident,
+            density,
+        }
+    };
+    let mut out = vec![
+        mk(GraphArray::Xadj, (n + 1) * 8, (2 * n * roots) as f64),
+        mk(
+            GraphArray::Adj,
+            m2 * 4,
+            m2 as f64 * relax_factor * roots as f64,
+        ),
+        mk(
+            GraphArray::Out,
+            n * 4,
+            m2 as f64 * 1.5 * relax_factor * roots as f64,
+        ),
+    ];
+    if kernel == GraphKernel::Sssp {
+        out.push(mk(
+            GraphArray::Weights,
+            m2 * 4,
+            m2 as f64 * relax_factor * roots as f64,
+        ));
+    }
+    out.sort_by(|a, b| b.density.total_cmp(&a.density));
+    out
+}
+
+/// Pick the placement a greedy migrator chooses under `local_budget`
+/// bytes of spare local memory: densest arrays first.
+pub fn plan_migration(
+    cfg: &Graph500Config,
+    kernel: GraphKernel,
+    llc_bytes: u64,
+    local_budget: u64,
+) -> GraphPlacement {
+    let mut placement = GraphPlacement::all_remote();
+    let mut budget = local_budget;
+    for p in profile_arrays(cfg, kernel, llc_bytes) {
+        if p.cache_resident {
+            continue; // the LLC already absorbs this array
+        }
+        if p.bytes <= budget {
+            budget -= p.bytes;
+            match p.array.as_str() {
+                "Xadj" => placement.xadj_remote = false,
+                "Adj" => placement.adj_remote = false,
+                "Weights" => placement.weights_remote = false,
+                "Out" => placement.out_remote = false,
+                _ => unreachable!(),
+            }
+        }
+    }
+    placement
+}
+
+/// One policy's outcome.
+#[derive(Clone, Debug, Serialize)]
+pub struct QosPoint {
+    pub policy: String,
+    pub local_bytes: u64,
+    pub jct_ms: f64,
+    /// Speedup over the all-remote baseline.
+    pub speedup: f64,
+}
+
+fn run_placed(
+    base: &TestbedConfig,
+    gcfg: &Graph500Config,
+    kernel: GraphKernel,
+    period: u64,
+    placement: GraphPlacement,
+) -> (f64, u64) {
+    let mut tb = Testbed::build(base).expect("attach");
+    tb.borrower
+        .remote_mut()
+        .set_delay(DelaySpec::Period(period));
+    let Testbed {
+        borrower,
+        local_arena,
+        remote_arena,
+        ..
+    } = &mut tb;
+    let g = graph500::build_csr_placed(gcfg, borrower, local_arena, remote_arena, placement);
+    let out: SimVec<u32> = if placement.out_remote {
+        remote_arena.alloc_vec(g.n)
+    } else {
+        local_arena.alloc_vec(g.n)
+    };
+    let report = match kernel {
+        GraphKernel::Bfs => graph500::run_bfs_benchmark(gcfg, borrower, &g, &out, false),
+        GraphKernel::Sssp => graph500::run_sssp_benchmark(gcfg, borrower, &g, &out, false),
+    };
+    let local_bytes = [
+        (!placement.xadj_remote).then_some((g.n + 1) * 8),
+        (!placement.adj_remote).then_some(g.m2 * 4),
+        (!placement.weights_remote).then_some(g.m2 * 4),
+        (!placement.out_remote).then_some(g.n * 4),
+    ]
+    .into_iter()
+    .flatten()
+    .sum();
+    let _ = Time::ZERO;
+    (report.total_time.as_ms_f64(), local_bytes)
+}
+
+/// Compare all-remote, migrated (budgeted), and all-local placements
+/// under an injected delay.
+pub fn page_migration_study(
+    base: &TestbedConfig,
+    gcfg: &Graph500Config,
+    kernel: GraphKernel,
+    period: u64,
+    local_budget: u64,
+) -> Vec<QosPoint> {
+    let llc = base.borrower.cache.capacity_bytes();
+    let (remote_ms, _) = run_placed(base, gcfg, kernel, period, GraphPlacement::all_remote());
+    let migrated = plan_migration(gcfg, kernel, llc, local_budget);
+    let (migrated_ms, migrated_bytes) = run_placed(base, gcfg, kernel, period, migrated);
+    let (local_ms, local_bytes) =
+        run_placed(base, gcfg, kernel, period, GraphPlacement::all_local());
+    vec![
+        QosPoint {
+            policy: "all-remote".into(),
+            local_bytes: 0,
+            jct_ms: remote_ms,
+            speedup: 1.0,
+        },
+        QosPoint {
+            policy: format!("migrated (budget {} MiB)", local_budget >> 20),
+            local_bytes: migrated_bytes,
+            jct_ms: migrated_ms,
+            speedup: remote_ms / migrated_ms,
+        },
+        QosPoint {
+            policy: "all-local".into(),
+            local_bytes,
+            jct_ms: local_ms,
+            speedup: remote_ms / local_ms,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gcfg() -> Graph500Config {
+        Graph500Config {
+            scale: 12,
+            edgefactor: 16,
+            roots: 2,
+            cores: 4,
+            ..Graph500Config::tiny()
+        }
+    }
+
+    const TINY_LLC: u64 = 256 << 10;
+
+    #[test]
+    fn profile_separates_resident_from_thrashing() {
+        let profiles = profile_arrays(&gcfg(), GraphKernel::Bfs, TINY_LLC);
+        // At scale 12 / 256 KiB LLC: parent (16 KiB) and xadj (32 KiB)
+        // are resident; the 512 KiB adjacency array thrashes and is the
+        // only array whose remote traffic migration can remove.
+        let adj = profiles.iter().find(|p| p.array == "Adj").unwrap();
+        let out = profiles.iter().find(|p| p.array == "Out").unwrap();
+        assert!(!adj.cache_resident);
+        assert!(out.cache_resident);
+        assert!(adj.density > out.density * 10.0);
+        assert_eq!(profiles[0].array, "Adj", "Adj must top the ranking");
+    }
+
+    #[test]
+    fn migration_plan_respects_budget() {
+        let g = gcfg();
+        // Budget below the adjacency array's size: nothing worth moving.
+        let small = plan_migration(&g, GraphKernel::Bfs, TINY_LLC, 64 << 10);
+        assert!(small.adj_remote && small.out_remote && small.xadj_remote);
+        // Budget covering Adj: it migrates, the resident arrays stay put.
+        let big = plan_migration(&g, GraphKernel::Bfs, TINY_LLC, 1 << 20);
+        assert!(!big.adj_remote, "Adj fits and should migrate");
+        assert!(big.out_remote, "resident arrays are not worth a slot");
+    }
+
+    #[test]
+    fn zero_budget_migrates_nothing() {
+        let plan = plan_migration(&gcfg(), GraphKernel::Bfs, TINY_LLC, 0);
+        assert!(plan.out_remote && plan.xadj_remote && plan.adj_remote);
+    }
+
+    #[test]
+    fn migration_recovers_performance_under_delay() {
+        let g = gcfg();
+        let budget = 1 << 20; // fits the thrashing adjacency array
+        let points =
+            page_migration_study(&TestbedConfig::tiny(), &g, GraphKernel::Bfs, 400, budget);
+        let remote = &points[0];
+        let migrated = &points[1];
+        let local = &points[2];
+        assert!(
+            migrated.speedup > 3.0,
+            "migrating the thrashing array should recover most of the loss: {points:?}"
+        );
+        assert!(
+            local.speedup >= migrated.speedup * 0.95,
+            "all-local is the upper bound: {points:?}"
+        );
+        assert!(remote.jct_ms > local.jct_ms);
+    }
+}

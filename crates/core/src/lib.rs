@@ -1,0 +1,64 @@
+//! # thymesim-core
+//!
+//! The characterization framework: a two-node [`testbed::Testbed`]
+//! (borrower + lender + ThymesisFlow-style fabric + control plane),
+//! workload [`runners`], and the paper's experiment campaigns under
+//! [`experiments`]:
+//!
+//! * [`experiments::validate`] — Fig. 2/3 delay sweep + §III-B checks;
+//! * [`experiments::resilience`] — Fig. 4 stress sweep (incl. the
+//!   PERIOD=10000 attach failure);
+//! * [`experiments::apps`] — Table I and Fig. 5 application impact;
+//! * [`experiments::contention`] — Fig. 6 (MCBN) and Fig. 7 (MCLN);
+//! * [`experiments::dist`] — the future-work distribution-driven injector.
+//!
+//! [`report`] renders every series as the paper's tables (markdown) or
+//! figure data (CSV/JSON).
+
+pub mod config;
+pub mod experiments;
+pub mod report;
+pub mod runners;
+pub mod testbed;
+
+/// Flat re-exports of the common entry points.
+pub mod prelude {
+    pub use crate::config::{NodeConfig, TestbedConfig};
+    pub use crate::experiments::ablate::{
+        kv_pipelining, wb_gating, window_sweep, KvPipelinePoint, WbGatingPoint, WindowPoint,
+    };
+    pub use crate::experiments::apps::{
+        fig5, table1, AppScale, Fig5Point, Table1Row, FIG5_PERIODS,
+    };
+    pub use crate::experiments::beyond::{
+        congestion_sweep, emulation_fidelity, pooling_sweep, rack_topology, CongestionPoint,
+        EmulationReport, PoolingPoint, TopologyPoint,
+    };
+    pub use crate::experiments::contention::{
+        mcbn, mcln, McbnPoint, MclnPoint, FIG6_COUNTS, FIG7_COUNTS,
+    };
+    pub use crate::experiments::dist::{dist_sweep, DistPoint};
+    pub use crate::experiments::placement::{placement_study, PlacementPoint, PlacementPolicy};
+    pub use crate::experiments::qos::{
+        page_migration_study, plan_migration, profile_arrays, ArrayProfile, QosPoint,
+    };
+    pub use crate::experiments::resilience::{
+        resilience_sweep, ResilienceOutcome, ResiliencePoint, FIG4_PERIODS,
+    };
+    pub use crate::experiments::sensitivity::{tornado, Knob, SensitivityRow};
+    pub use crate::experiments::validate::{
+        probe_delay_sweep, stream_delay_sweep, validate_injection, DelaySweepPoint,
+        ProbeSweepPoint, ValidationReport, FIG2_PERIODS,
+    };
+    pub use crate::runners::{
+        graph500_local_baseline, kv_local_baseline, run_graph500, run_kv, run_stream,
+        run_stream_on_testbed, stream_local_baseline, GraphKernel, Placement,
+    };
+    pub use crate::testbed::Testbed;
+    pub use thymesim_fabric::{Crash, DelaySpec};
+    pub use thymesim_net::{TreeConfig, TreeTopology};
+    pub use thymesim_workloads::graph500::Graph500Config;
+    pub use thymesim_workloads::kv::KvConfig;
+    pub use thymesim_workloads::probe::{ChaseTable, ProbeConfig};
+    pub use thymesim_workloads::stream::{StreamConfig, StreamReport};
+}

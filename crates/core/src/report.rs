@@ -1,0 +1,487 @@
+//! Rendering experiment results as the paper's tables and figure series
+//! (markdown + CSV), plus JSON for downstream tooling.
+
+use crate::experiments::apps::{Fig5Point, Table1Row};
+use crate::experiments::beyond::{CongestionPoint, EmulationReport, PoolingPoint, TopologyPoint};
+use crate::experiments::contention::{McbnPoint, MclnPoint};
+use crate::experiments::dist::DistPoint;
+use crate::experiments::placement::PlacementPoint;
+use crate::experiments::qos::QosPoint;
+use crate::experiments::resilience::{ResilienceOutcome, ResiliencePoint};
+use crate::experiments::sensitivity::SensitivityRow;
+use crate::experiments::validate::{DelaySweepPoint, ValidationReport};
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Render any serializable series to pretty JSON.
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("results are serializable")
+}
+
+/// A minimal CSV writer (header + rows) for figure series.
+pub fn csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&r.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Fig. 2 + Fig. 3 as CSV: period, latency, bandwidth, BDP.
+pub fn fig23_csv(points: &[DelaySweepPoint]) -> String {
+    csv(
+        &[
+            "period",
+            "latency_us",
+            "bandwidth_gib_s",
+            "copy_gib_s",
+            "triad_gib_s",
+            "bdp_kib",
+        ],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.period.to_string(),
+                    fmt(p.latency_us),
+                    fmt(p.bandwidth_gib_s),
+                    fmt(p.copy_gib_s),
+                    fmt(p.triad_gib_s),
+                    fmt(p.bdp_kib),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// §III-B validation verdicts as markdown.
+pub fn validation_md(v: &ValidationReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "| check | value |");
+    let _ = writeln!(s, "|---|---|");
+    let _ = writeln!(s, "| PERIOD↔latency Pearson r | {:.4} |", v.fit_r);
+    let _ = writeln!(
+        s,
+        "| slope | {:.3} µs/PERIOD (model: window×cycle = 0.512) |",
+        v.fit_slope_us_per_period
+    );
+    let _ = writeln!(
+        s,
+        "| latency range | {:.2}–{:.1} µs |",
+        v.min_latency_us, v.max_latency_us
+    );
+    let _ = writeln!(
+        s,
+        "| datacenter percentile covered | {:.1}% |",
+        v.max_percentile_covered * 100.0
+    );
+    let _ = writeln!(
+        s,
+        "| BDP | {:.1} KiB mean, CV {:.3} |",
+        v.bdp_mean_kib, v.bdp_cv
+    );
+    s
+}
+
+/// Fig. 4 as a markdown table.
+pub fn fig4_md(points: &[ResiliencePoint]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "| PERIOD | outcome | STREAM latency |");
+    let _ = writeln!(s, "|---|---|---|");
+    for p in points {
+        match &p.outcome {
+            ResilienceOutcome::Completed {
+                latency_us,
+                bandwidth_gib_s,
+            } => {
+                let _ = writeln!(
+                    s,
+                    "| {} | completed | {} µs ({} GiB/s) |",
+                    p.period,
+                    fmt(*latency_us),
+                    fmt(*bandwidth_gib_s)
+                );
+            }
+            ResilienceOutcome::AttachTimeout {
+                elapsed_ms,
+                budget_ms,
+            } => {
+                let _ = writeln!(
+                    s,
+                    "| {} | **FPGA not detected** (discovery {} ms > budget {} ms) | — |",
+                    p.period,
+                    fmt(*elapsed_ms),
+                    fmt(*budget_ms)
+                );
+            }
+            ResilienceOutcome::MachineCheck { latency_ms } => {
+                let _ = writeln!(
+                    s,
+                    "| {} | **machine check** (load stalled {} ms) | — |",
+                    p.period,
+                    fmt(*latency_ms)
+                );
+            }
+        }
+    }
+    s
+}
+
+/// Table I as markdown, mirroring the paper's layout.
+pub fn table1_md(rows: &[Table1Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "| | PERIOD=1 | PERIOD=1000 |");
+    let _ = writeln!(s, "|---|---|---|");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "| {} | {}x | {}x |",
+            r.app,
+            fmt(r.degradation_p1),
+            fmt(r.degradation_p1000)
+        );
+    }
+    s
+}
+
+/// Fig. 5 series as CSV.
+pub fn fig5_csv(points: &[Fig5Point]) -> String {
+    csv(
+        &[
+            "period",
+            "redis_degradation",
+            "bfs_degradation",
+            "sssp_degradation",
+        ],
+        &points
+            .iter()
+            .map(|p| vec![p.period.to_string(), fmt(p.redis), fmt(p.bfs), fmt(p.sssp)])
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Fig. 6 series as CSV.
+pub fn fig6_csv(points: &[McbnPoint]) -> String {
+    csv(
+        &["instances", "per_instance_gib_s", "aggregate_gib_s"],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.instances.to_string(),
+                    fmt(p.per_instance_gib_s),
+                    fmt(p.aggregate_gib_s),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Fig. 7 series as CSV.
+pub fn fig7_csv(points: &[MclnPoint]) -> String {
+    csv(
+        &[
+            "lender_instances",
+            "borrower_gib_s",
+            "lender_aggregate_gib_s",
+        ],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.lender_instances.to_string(),
+                    fmt(p.borrower_gib_s),
+                    fmt(p.lender_aggregate_gib_s),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Distribution-panel results as a markdown table.
+pub fn dist_md(points: &[DistPoint]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "| distribution | injected mean | latency mean | latency p99 | tail p99/mean | bandwidth |"
+    );
+    let _ = writeln!(s, "|---|---|---|---|---|---|");
+    for p in points {
+        let _ = writeln!(
+            s,
+            "| {} | {} µs | {} µs | {} µs | {}x | {} GiB/s |",
+            p.dist,
+            fmt(p.mean_injected_us),
+            fmt(p.latency_mean_us),
+            fmt(p.latency_p99_us),
+            fmt(p.tail_ratio),
+            fmt(p.bandwidth_gib_s)
+        );
+    }
+    s
+}
+
+/// E11 congestion sweep as CSV.
+pub fn congestion_csv(points: &[CongestionPoint]) -> String {
+    csv(
+        &["pairs", "fg_latency_us", "fg_p99_us", "fg_bandwidth_gib_s"],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.pairs.to_string(),
+                    fmt(p.fg_latency_us),
+                    fmt(p.fg_p99_us),
+                    fmt(p.fg_bandwidth_gib_s),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// E11 emulation-fidelity verdict as markdown.
+pub fn emulation_md(r: &EmulationReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "congested ({} pairs): mean {} µs, p99 {} µs (tail {}x)",
+        r.congested.pairs,
+        fmt(r.congested.fg_latency_us),
+        fmt(r.congested.fg_p99_us),
+        fmt(r.congested_tail_ratio)
+    );
+    let _ = writeln!(
+        s,
+        "matched PERIOD = {}: mean {} µs (error {:.1}%), p99 {} µs (tail {}x)",
+        r.matched_period,
+        fmt(r.injected_latency_us),
+        r.mean_error * 100.0,
+        fmt(r.injected_p99_us),
+        fmt(r.injected_tail_ratio)
+    );
+    s
+}
+
+/// E11b topology comparison as CSV.
+pub fn topology_csv(points: &[TopologyPoint]) -> String {
+    csv(
+        &[
+            "placement",
+            "background_pairs",
+            "fg_latency_us",
+            "fg_bandwidth_gib_s",
+        ],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.placement.clone(),
+                    p.background_pairs.to_string(),
+                    fmt(p.fg_latency_us),
+                    fmt(p.fg_bandwidth_gib_s),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// E12 pooling sweep as CSV.
+pub fn pooling_csv(points: &[PoolingPoint]) -> String {
+    csv(
+        &[
+            "pool_gb_s",
+            "borrowers",
+            "per_borrower_gib_s",
+            "pool_queue_us",
+        ],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    fmt(p.pool_gb_s),
+                    p.borrowers.to_string(),
+                    fmt(p.per_borrower_gib_s),
+                    fmt(p.pool_queue_us),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// E13 page-migration study as a markdown table.
+pub fn qos_md(points: &[QosPoint]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "| policy | local MiB | JCT | speedup |");
+    let _ = writeln!(s, "|---|---|---|---|");
+    for p in points {
+        let _ = writeln!(
+            s,
+            "| {} | {} | {} ms | {}x |",
+            p.policy,
+            fmt(p.local_bytes as f64 / (1 << 20) as f64),
+            fmt(p.jct_ms),
+            fmt(p.speedup)
+        );
+    }
+    s
+}
+
+/// E15 sensitivity tornado as CSV (percent changes).
+pub fn sensitivity_csv(rows: &[SensitivityRow]) -> String {
+    csv(
+        &[
+            "knob",
+            "slope_minus50_pct",
+            "slope_plus50_pct",
+            "floor_minus50_pct",
+            "floor_plus50_pct",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:?}", r.knob),
+                    fmt(r.slope_lo * 100.0),
+                    fmt(r.slope_hi * 100.0),
+                    fmt(r.floor_lo * 100.0),
+                    fmt(r.floor_hi * 100.0),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// E16 placement study as a markdown table.
+pub fn placement_md(points: &[PlacementPoint]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "| regime | policy | mean GiB/s | min GiB/s |");
+    let _ = writeln!(s, "|---|---|---|---|");
+    for p in points {
+        let _ = writeln!(
+            s,
+            "| {} | {:?} | {} | {} |",
+            p.regime,
+            p.policy,
+            fmt(p.mean_borrower_gib_s),
+            fmt(p.min_borrower_gib_s)
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_shapes_are_rectangular() {
+        let s = csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(s, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn table1_md_layout() {
+        let rows = vec![Table1Row {
+            app: "Redis".into(),
+            degradation_p1: 1.01,
+            degradation_p1000: 1.73,
+        }];
+        let md = table1_md(&rows);
+        assert!(md.contains("| Redis | 1.010x | 1.730x |"));
+        assert!(md.starts_with("| | PERIOD=1 | PERIOD=1000 |"));
+    }
+
+    #[test]
+    fn fig4_md_marks_failures() {
+        let points = vec![
+            ResiliencePoint {
+                period: 1000,
+                outcome: ResilienceOutcome::Completed {
+                    latency_us: 512.0,
+                    bandwidth_gib_s: 0.03,
+                },
+            },
+            ResiliencePoint {
+                period: 10_000,
+                outcome: ResilienceOutcome::AttachTimeout {
+                    elapsed_ms: 10.6,
+                    budget_ms: 2.0,
+                },
+            },
+        ];
+        let md = fig4_md(&points);
+        assert!(md.contains("completed"));
+        assert!(md.contains("FPGA not detected"));
+    }
+
+    #[test]
+    fn json_round_trips_series() {
+        let p = vec![Fig5Point {
+            period: 100,
+            redis: 1.0,
+            bfs: 3.5,
+            sssp: 2.5,
+        }];
+        let j = to_json(&p);
+        assert!(j.contains("\"period\": 100"));
+    }
+
+    #[test]
+    fn extension_renderers_are_wellformed() {
+        let c = congestion_csv(&[CongestionPoint {
+            pairs: 4,
+            fg_latency_us: 6.6,
+            fg_p99_us: 7.9,
+            fg_bandwidth_gib_s: 2.3,
+        }]);
+        assert!(c.starts_with("pairs,"));
+        assert!(c.contains("4,6.600,7.900,2.300"));
+
+        let q = qos_md(&[crate::experiments::qos::QosPoint {
+            policy: "migrated".into(),
+            local_bytes: 8 << 20,
+            jct_ms: 19.5,
+            speedup: 9.3,
+        }]);
+        assert!(q.contains("| migrated | 8.000 | 19.5 ms | 9.300x |"));
+
+        let t = topology_csv(&[TopologyPoint {
+            placement: "intra-rack".into(),
+            background_pairs: 3,
+            fg_latency_us: 2.1,
+            fg_bandwidth_gib_s: 7.2,
+        }]);
+        assert!(t.contains("intra-rack,3,2.100,7.200"));
+
+        let pl = placement_md(&[PlacementPoint {
+            policy: crate::experiments::placement::PlacementPolicy::LoadAware,
+            regime: "pooling".into(),
+            mean_borrower_gib_s: 7.9,
+            min_borrower_gib_s: 7.9,
+        }]);
+        assert!(pl.contains("| pooling | LoadAware | 7.900 | 7.900 |"));
+    }
+
+    #[test]
+    fn fmt_is_compact() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(2209.4), "2209");
+        assert_eq!(fmt(10.46), "10.5");
+        assert_eq!(fmt(1.013), "1.013");
+    }
+}

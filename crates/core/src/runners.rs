@@ -1,0 +1,277 @@
+//! Workload-on-testbed runners and local baselines.
+//!
+//! Every experiment needs the same moves: place a workload's data in
+//! disaggregated or local memory, run it to completion from the attach
+//! point, and extract its metric. The paper's degradation ratios divide a
+//! delayed run by either the local-memory run (Table I) or the vanilla
+//! remote run (Fig. 5); both baselines live here.
+
+use crate::config::{NodeConfig, TestbedConfig};
+use crate::testbed::Testbed;
+use thymesim_mem::{
+    shared_dram, Addr, AddressMap, Arena, MemSystem, NoRemote, RemoteBackend, SimVec,
+};
+use thymesim_sim::{Process, Step, Time};
+use thymesim_workloads::graph500::{self, Graph500Config, Graph500Report};
+use thymesim_workloads::kv::{self, KvConfig, KvReport, KvStore};
+use thymesim_workloads::stream::{StreamArrays, StreamConfig, StreamProcess, StreamReport};
+
+/// Where a workload's data lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// In the hot-plugged disaggregated window.
+    Remote,
+    /// In borrower-local DRAM (the paper's "local memory" baseline).
+    Local,
+}
+
+/// A standalone local-memory node (baseline runs need no fabric at all).
+pub fn local_system(node: &NodeConfig, size: u64) -> (MemSystem<NoRemote>, Arena) {
+    let map = AddressMap::new(size, node.cache.line, node.cache.line);
+    let sys = MemSystem::new(
+        map,
+        node.cache,
+        shared_dram(node.dram),
+        node.timing,
+        NoRemote,
+    );
+    (sys, Arena::new(Addr(0), size))
+}
+
+// ---------------------------------------------------------------------------
+// STREAM
+// ---------------------------------------------------------------------------
+
+/// Run one STREAM instance on an existing testbed.
+pub fn run_stream(tb: &mut Testbed, cfg: &StreamConfig, placement: Placement) -> StreamReport {
+    let arena = match placement {
+        Placement::Remote => &mut tb.remote_arena,
+        Placement::Local => &mut tb.local_arena,
+    };
+    let arrays = StreamArrays::alloc(arena, cfg.elements);
+    arrays.init(&mut tb.borrower);
+    let p = StreamProcess::new(*cfg, arrays, tb.attach.ready_at);
+    p.run_to_completion(&mut tb.borrower)
+}
+
+/// Build a testbed from `cfg` and run STREAM out of remote memory — the
+/// §IV-B experiment in one call.
+pub fn run_stream_on_testbed(cfg: &TestbedConfig, stream: &StreamConfig) -> StreamReport {
+    let mut tb = Testbed::build(cfg).expect("attach failed (is PERIOD extreme?)");
+    run_stream(&mut tb, stream, Placement::Remote)
+}
+
+/// STREAM on plain local memory (no fabric anywhere).
+pub fn stream_local_baseline(node: &NodeConfig, cfg: &StreamConfig) -> StreamReport {
+    let bytes = cfg.elements * 8 * 3 + (1 << 20);
+    let (mut sys, mut arena) = local_system(node, bytes.next_power_of_two());
+    let arrays = StreamArrays::alloc(&mut arena, cfg.elements);
+    arrays.init(&mut sys);
+    StreamProcess::new(*cfg, arrays, Time::ZERO).run_to_completion(&mut sys)
+}
+
+// ---------------------------------------------------------------------------
+// KV (Redis + memtier)
+// ---------------------------------------------------------------------------
+
+/// Run the memtier-style KV benchmark on the testbed.
+pub fn run_kv(tb: &mut Testbed, cfg: &KvConfig, placement: Placement) -> KvReport {
+    let arena = match placement {
+        Placement::Remote => &mut tb.remote_arena,
+        Placement::Local => &mut tb.local_arena,
+    };
+    let store = KvStore::build(cfg, &mut tb.borrower, arena);
+    kv::run_memtier(cfg, &mut tb.borrower, &store)
+}
+
+/// KV on plain local memory.
+pub fn kv_local_baseline(node: &NodeConfig, cfg: &KvConfig) -> KvReport {
+    let bytes = cfg.working_set_bytes() * 2 + (1 << 22);
+    let (mut sys, mut arena) = local_system(node, bytes.next_power_of_two());
+    let store = KvStore::build(cfg, &mut sys, &mut arena);
+    kv::run_memtier(cfg, &mut sys, &store)
+}
+
+// ---------------------------------------------------------------------------
+// Graph500
+// ---------------------------------------------------------------------------
+
+/// Which Graph500 kernel to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphKernel {
+    Bfs,
+    Sssp,
+}
+
+/// Run Graph500 (BFS or SSSP phase) on the testbed.
+pub fn run_graph500(
+    tb: &mut Testbed,
+    cfg: &Graph500Config,
+    kernel: GraphKernel,
+    placement: Placement,
+    validate: bool,
+) -> Graph500Report {
+    let arena = match placement {
+        Placement::Remote => &mut tb.remote_arena,
+        Placement::Local => &mut tb.local_arena,
+    };
+    let g = graph500::build_csr(cfg, &mut tb.borrower, arena);
+    let out: SimVec<u32> = arena.alloc_vec(g.n);
+    match kernel {
+        GraphKernel::Bfs => graph500::run_bfs_benchmark(cfg, &mut tb.borrower, &g, &out, validate),
+        GraphKernel::Sssp => {
+            graph500::run_sssp_benchmark(cfg, &mut tb.borrower, &g, &out, validate)
+        }
+    }
+}
+
+/// Graph500 on plain local memory.
+pub fn graph500_local_baseline(
+    node: &NodeConfig,
+    cfg: &Graph500Config,
+    kernel: GraphKernel,
+) -> Graph500Report {
+    let bytes = cfg.edges() * 2 * 8 + cfg.vertices() * 24 + (1 << 22);
+    let (mut sys, mut arena) = local_system(node, bytes.next_power_of_two());
+    let g = graph500::build_csr(cfg, &mut sys, &mut arena);
+    let out: SimVec<u32> = arena.alloc_vec(g.n);
+    match kernel {
+        GraphKernel::Bfs => graph500::run_bfs_benchmark(cfg, &mut sys, &g, &out, false),
+        GraphKernel::Sssp => graph500::run_sssp_benchmark(cfg, &mut sys, &g, &out, false),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process adapters (contention experiments)
+// ---------------------------------------------------------------------------
+
+/// Adapter: a [`StreamProcess`] as a `thymesim_sim::Process` over any
+/// memory system.
+pub struct StreamProc(pub StreamProcess);
+
+impl<R: RemoteBackend> Process<MemSystem<R>> for StreamProc {
+    fn next_time(&self) -> Time {
+        self.0.next_time()
+    }
+    fn step(&mut self, shared: &mut MemSystem<R>) -> Step {
+        self.0.step_on(shared)
+    }
+}
+
+/// A STREAM instance bound to one side of the testbed (for MCLN, where
+/// borrower and lender instances advance on one virtual timeline).
+pub enum NodeStream {
+    Borrower(StreamProcess),
+    Lender(StreamProcess),
+}
+
+impl NodeStream {
+    pub fn inner(&self) -> &StreamProcess {
+        match self {
+            NodeStream::Borrower(p) | NodeStream::Lender(p) => p,
+        }
+    }
+}
+
+impl Process<Testbed> for NodeStream {
+    fn next_time(&self) -> Time {
+        self.inner().next_time()
+    }
+    fn step(&mut self, shared: &mut Testbed) -> Step {
+        match self {
+            NodeStream::Borrower(p) => p.step_on(&mut shared.borrower),
+            NodeStream::Lender(p) => p.step_on(&mut shared.lender),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thymesim_sim::run_processes;
+
+    fn tiny_tb() -> TestbedConfig {
+        TestbedConfig::tiny()
+    }
+
+    #[test]
+    fn stream_remote_slower_than_local() {
+        let cfg = tiny_tb();
+        let mut scfg = StreamConfig::tiny();
+        scfg.elements = 32_768;
+        let remote = run_stream_on_testbed(&cfg, &scfg);
+        let local = stream_local_baseline(&cfg.borrower, &scfg);
+        assert!(remote.verified && local.verified);
+        assert!(
+            local.best_bandwidth_gib_s() > remote.best_bandwidth_gib_s(),
+            "local {} GiB/s should beat remote {} GiB/s",
+            local.best_bandwidth_gib_s(),
+            remote.best_bandwidth_gib_s()
+        );
+    }
+
+    #[test]
+    fn delay_injection_slows_stream() {
+        let mut scfg = StreamConfig::tiny();
+        scfg.elements = 16_384;
+        let vanilla = run_stream_on_testbed(&tiny_tb().with_period(1), &scfg);
+        let delayed = run_stream_on_testbed(&tiny_tb().with_period(100), &scfg);
+        assert!(
+            delayed.miss_latency_mean > vanilla.miss_latency_mean * 10,
+            "PERIOD=100 latency {} vs vanilla {}",
+            delayed.miss_latency_mean,
+            vanilla.miss_latency_mean
+        );
+        assert!(delayed.best_bandwidth_gib_s() < vanilla.best_bandwidth_gib_s() / 5.0);
+    }
+
+    #[test]
+    fn kv_runs_on_remote_and_verifies() {
+        let mut tb = Testbed::build(&tiny_tb()).unwrap();
+        let kcfg = KvConfig::tiny();
+        let report = run_kv(&mut tb, &kcfg, Placement::Remote);
+        assert!(report.data_ok);
+        assert_eq!(report.requests, kcfg.total_requests());
+        assert!(tb.borrower.remote().stats.reads > 0, "no remote traffic");
+    }
+
+    #[test]
+    fn graph500_remote_validates() {
+        let mut tb = Testbed::build(&tiny_tb()).unwrap();
+        let gcfg = Graph500Config::tiny();
+        let report = run_graph500(&mut tb, &gcfg, GraphKernel::Bfs, Placement::Remote, true);
+        assert!(report.validated);
+        assert!(tb.borrower.remote().stats.reads > 0);
+    }
+
+    #[test]
+    fn two_streams_share_fabric_bandwidth() {
+        let mut tb = Testbed::build(&tiny_tb()).unwrap();
+        let mut scfg = StreamConfig::tiny();
+        scfg.elements = 16_384;
+        let mut procs = Vec::new();
+        for _ in 0..2 {
+            let arrays = StreamArrays::alloc(&mut tb.remote_arena, scfg.elements);
+            arrays.init(&mut tb.borrower);
+            procs.push(StreamProc(StreamProcess::new(
+                scfg,
+                arrays,
+                tb.attach.ready_at,
+            )));
+        }
+        let stats = run_processes(&mut procs, &mut tb.borrower, Time::NEVER);
+        assert_eq!(stats.finished, 2);
+        // Each instance sees roughly half the solo bandwidth.
+        let solo = {
+            let mut tb2 = Testbed::build(&tiny_tb()).unwrap();
+            run_stream(&mut tb2, &scfg, Placement::Remote).best_bandwidth_gib_s()
+        };
+        for p in &procs {
+            let bw = p.0.mean_bandwidth_gib_s();
+            assert!(
+                bw < solo * 0.75,
+                "shared instance got {bw} vs solo {solo} — no contention visible"
+            );
+        }
+    }
+}

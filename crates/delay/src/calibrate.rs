@@ -1,0 +1,165 @@
+//! Calibration helpers mapping the PERIOD knob to expected latencies.
+//!
+//! §III-B of the paper validates the injector by showing (a) a strong
+//! linear correlation between PERIOD and application-measured latency and
+//! (b) coverage of the datacenter network latency envelope. These helpers
+//! compute the model-predicted mapping used to label figure axes and to
+//! cross-check the simulation output.
+
+use crate::gate::{ConstPeriod, PeriodSource};
+use crate::model::AnalyticGate;
+use thymesim_sim::{linear_fit, Clock, Dur, LinearFit, Time};
+
+/// Predicted steady-state per-request latency for a saturating workload
+/// with `window` outstanding requests (each one gate beat):
+/// every grant admits one request, so a request entering the queue waits
+/// for `window` grants ≈ `window × PERIOD` cycles, plus the un-gated base
+/// path latency.
+pub fn predicted_latency(period: u64, window: u64, clock: Clock, base: Dur) -> Dur {
+    // PERIOD=1 admits one beat per cycle, which is faster than the base
+    // pipeline for realistic windows; the gate only dominates once
+    // window×PERIOD cycles exceed the base latency.
+    let gate = clock.cycles(window.saturating_mul(period));
+    if gate > base {
+        gate
+    } else {
+        base
+    }
+}
+
+/// Predicted steady-state goodput in bytes/s when each granted beat moves
+/// one `line_bytes` cache line and the gate is the bottleneck.
+pub fn predicted_bandwidth(period: u64, clock: Clock, line_bytes: u64, link_bps: f64) -> f64 {
+    let gate_bps = line_bytes as f64 / (clock.cycles(period).as_secs_f64());
+    gate_bps.min(link_bps)
+}
+
+/// Empirically measure the gate's grant spacing at a given PERIOD using
+/// the analytic gate under saturation, returning mean spacing.
+pub fn measured_grant_spacing(period: u64, clock: Clock, n: u64) -> Dur {
+    let mut g = AnalyticGate::new(ConstPeriod(period), clock);
+    let mut prev = g.pass_one(Time::ZERO);
+    let first = prev;
+    for _ in 1..n {
+        prev = g.pass_one(Time::ZERO);
+    }
+    Dur::ps((prev - first).as_ps() / (n - 1).max(1))
+}
+
+/// Fit latency = a·PERIOD + b over a sweep, as the paper does to validate
+/// linearity of the injector.
+pub fn fit_period_latency(points: &[(u64, Dur)]) -> LinearFit {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .map(|(p, d)| (*p as f64, d.as_us_f64()))
+        .collect();
+    linear_fit(&pts)
+}
+
+/// PERIOD that produces (approximately) a target injected per-request
+/// latency for a saturating workload — the inverse mapping used to pick
+/// sweep points matching datacenter percentiles.
+pub fn period_for_latency(target: Dur, window: u64, clock: Clock) -> u64 {
+    let per_grant = clock.cycle().as_ps() * window;
+    (target.as_ps() / per_grant).max(1)
+}
+
+/// Convenience: does this period source ever change? (Constant schedules
+/// allow cheaper fast paths in the fabric.)
+pub fn is_constant<P: PeriodSource>(p: &P, horizon: u64) -> bool {
+    let p0 = p.period_at(0);
+    // Sample log-spaced points; exact for ConstPeriod, heuristic otherwise.
+    let mut c = 1u64;
+    while c < horizon {
+        if p.period_at(c) != p0 {
+            return false;
+        }
+        c = c.saturating_mul(2);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::PiecewisePeriod;
+
+    fn fpga() -> Clock {
+        Clock::mhz(250)
+    }
+
+    #[test]
+    fn grant_spacing_equals_period() {
+        for p in [1u64, 4, 32, 1000] {
+            let spacing = measured_grant_spacing(p, fpga(), 100);
+            assert_eq!(spacing, fpga().cycles(p), "period {p}");
+        }
+    }
+
+    #[test]
+    fn predicted_latency_floor_is_base() {
+        let base = Dur::ns(1200);
+        assert_eq!(predicted_latency(1, 128, fpga(), base), base);
+        // 128 × 100 cycles × 4 ns = 51.2 us dominates the base.
+        assert_eq!(
+            predicted_latency(100, 128, fpga(), base),
+            Dur::ns(128 * 100 * 4)
+        );
+    }
+
+    #[test]
+    fn predicted_bandwidth_is_link_capped() {
+        let link = 12.5e9; // 100 Gb/s
+        let bw1 = predicted_bandwidth(1, fpga(), 128, link);
+        assert_eq!(bw1, link, "PERIOD=1 must be link-limited");
+        let bw100 = predicted_bandwidth(100, fpga(), 128, link);
+        // 128 B / 400 ns = 320 MB/s
+        assert!((bw100 / 3.2e8 - 1.0).abs() < 1e-9, "bw100={bw100}");
+    }
+
+    #[test]
+    fn bdp_is_constant_when_gate_dominates() {
+        // window × line stays constant: latency × bandwidth must equal it.
+        let window = 128u64;
+        let line = 128u64;
+        for p in [50u64, 100, 200, 300] {
+            let lat = predicted_latency(p, window, fpga(), Dur::ns(1200));
+            let bw = predicted_bandwidth(p, fpga(), line, 12.5e9);
+            let bdp = lat.as_secs_f64() * bw;
+            assert!(
+                (bdp / (window * line) as f64 - 1.0).abs() < 1e-9,
+                "BDP {bdp} at PERIOD {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn fit_is_perfectly_linear_for_model() {
+        let pts: Vec<(u64, Dur)> = [10u64, 50, 100, 200, 300]
+            .iter()
+            .map(|&p| (p, predicted_latency(p, 128, fpga(), Dur::ns(1200))))
+            .collect();
+        let fit = fit_period_latency(&pts);
+        assert!(fit.r > 0.999, "r={}", fit.r);
+        // slope = window × cycle = 128 × 4ns = 0.512 us / PERIOD.
+        assert!((fit.slope - 0.512).abs() < 1e-6, "slope={}", fit.slope);
+    }
+
+    #[test]
+    fn period_for_latency_inverts_prediction() {
+        let clock = fpga();
+        for target_us in [10u64, 50, 150] {
+            let p = period_for_latency(Dur::us(target_us), 128, clock);
+            let achieved = predicted_latency(p, 128, clock, Dur::ZERO);
+            let err = (achieved.as_us_f64() - target_us as f64).abs() / target_us as f64;
+            assert!(err < 0.05, "target {target_us}us got {achieved}");
+        }
+    }
+
+    #[test]
+    fn is_constant_detects_schedules() {
+        assert!(is_constant(&ConstPeriod(7), 1 << 40));
+        let pw = PiecewisePeriod::new(vec![(0, 2), (64, 9)]);
+        assert!(!is_constant(&pw, 1 << 20));
+    }
+}

@@ -1,0 +1,223 @@
+//! Distribution-driven delay injection — the paper's stated future work
+//! (§VII: *"we aim to improve the delay injection framework by enabling
+//! injecting delays according to a distribution instead of fixed values"*).
+//!
+//! [`DelayDist`] samples a per-message extra delay; [`DistGate`] applies it
+//! on top of (or instead of) the PERIOD gate, modelling a fabric whose
+//! latency varies at short timescales.
+
+use thymesim_sim::{Dur, Time, Xoshiro256};
+
+/// A latency distribution for per-message injected delay.
+#[derive(Clone, Debug)]
+pub enum DelayDist {
+    /// Always exactly this much (equivalent to a calibrated PERIOD).
+    Constant(Dur),
+    /// Uniform in `[lo, hi]`.
+    Uniform { lo: Dur, hi: Dur },
+    /// Exponential with the given mean (M/M/1-style congestion).
+    Exponential { mean: Dur },
+    /// Pareto with scale `xm` and shape `alpha` (> 1): heavy-tailed
+    /// congestion events, the classic model for datacenter tail latency.
+    Pareto { xm: Dur, alpha: f64 },
+    /// Replay a recorded trace, cycling when exhausted.
+    Trace(std::sync::Arc<[Dur]>),
+}
+
+impl DelayDist {
+    /// Sample one delay. `idx` selects the trace position for
+    /// [`DelayDist::Trace`]; stochastic variants draw from `rng`.
+    pub fn sample(&self, rng: &mut Xoshiro256, idx: u64) -> Dur {
+        match self {
+            DelayDist::Constant(d) => *d,
+            DelayDist::Uniform { lo, hi } => {
+                debug_assert!(hi >= lo);
+                let span = hi.as_ps() - lo.as_ps();
+                Dur::ps(lo.as_ps() + if span == 0 { 0 } else { rng.below(span + 1) })
+            }
+            DelayDist::Exponential { mean } => Dur::from_ns_f64(rng.exp(mean.as_ns_f64())),
+            DelayDist::Pareto { xm, alpha } => {
+                debug_assert!(*alpha > 1.0, "Pareto needs alpha > 1 for a finite mean");
+                let u = 1.0 - rng.next_f64(); // (0, 1]
+                Dur::from_ns_f64(xm.as_ns_f64() / u.powf(1.0 / alpha))
+            }
+            DelayDist::Trace(t) => {
+                assert!(!t.is_empty(), "empty delay trace");
+                t[(idx % t.len() as u64) as usize]
+            }
+        }
+    }
+
+    /// Analytic mean of the distribution (trace: empirical mean).
+    pub fn mean(&self) -> Dur {
+        match self {
+            DelayDist::Constant(d) => *d,
+            DelayDist::Uniform { lo, hi } => Dur::ps((lo.as_ps() + hi.as_ps()) / 2),
+            DelayDist::Exponential { mean } => *mean,
+            DelayDist::Pareto { xm, alpha } => {
+                Dur::from_ns_f64(xm.as_ns_f64() * alpha / (alpha - 1.0))
+            }
+            DelayDist::Trace(t) => {
+                if t.is_empty() {
+                    Dur::ZERO
+                } else {
+                    Dur::ps(t.iter().map(|d| d.as_ps()).sum::<u64>() / t.len() as u64)
+                }
+            }
+        }
+    }
+}
+
+/// Transaction-level gate that injects a sampled delay per message while
+/// preserving FIFO ordering (a message cannot overtake an earlier one,
+/// exactly like the hardware stream).
+#[derive(Clone, Debug)]
+pub struct DistGate {
+    dist: DelayDist,
+    rng: Xoshiro256,
+    next_idx: u64,
+    last_exit: Time,
+}
+
+impl DistGate {
+    pub fn new(dist: DelayDist, seed: u64) -> DistGate {
+        DistGate {
+            dist,
+            rng: Xoshiro256::seed_from_u64(seed),
+            next_idx: 0,
+            last_exit: Time::ZERO,
+        }
+    }
+
+    /// Delay a message arriving at `at`; returns its exit time.
+    pub fn pass(&mut self, at: Time) -> Time {
+        let d = self.dist.sample(&mut self.rng, self.next_idx);
+        self.next_idx += 1;
+        let exit = (at + d).max2(self.last_exit);
+        self.last_exit = exit;
+        exit
+    }
+
+    pub fn messages(&self) -> u64 {
+        self.next_idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(7)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = DelayDist::Constant(Dur::us(3));
+        let mut r = rng();
+        for i in 0..10 {
+            assert_eq!(d.sample(&mut r, i), Dur::us(3));
+        }
+        assert_eq!(d.mean(), Dur::us(3));
+    }
+
+    #[test]
+    fn uniform_within_bounds_and_mean() {
+        let d = DelayDist::Uniform {
+            lo: Dur::ns(100),
+            hi: Dur::ns(300),
+        };
+        let mut r = rng();
+        let mut sum = 0u64;
+        let n = 20_000;
+        for i in 0..n {
+            let s = d.sample(&mut r, i);
+            assert!(s >= Dur::ns(100) && s <= Dur::ns(300));
+            sum += s.as_ps();
+        }
+        let mean_ns = sum as f64 / n as f64 / 1000.0;
+        assert!((195.0..205.0).contains(&mean_ns), "mean {mean_ns}");
+        assert_eq!(d.mean(), Dur::ns(200));
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = DelayDist::Exponential { mean: Dur::us(5) };
+        let mut r = rng();
+        let n = 50_000;
+        let sum: u64 = (0..n).map(|i| d.sample(&mut r, i).as_ps()).sum();
+        let mean_us = sum as f64 / n as f64 / 1e6;
+        assert!((4.9..5.1).contains(&mean_us), "mean {mean_us}");
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        let d = DelayDist::Pareto {
+            xm: Dur::us(1),
+            alpha: 2.0,
+        };
+        let mut r = rng();
+        let n = 50_000usize;
+        let mut samples: Vec<u64> = (0..n).map(|i| d.sample(&mut r, i as u64).as_ps()).collect();
+        samples.sort_unstable();
+        let p50 = samples[n / 2] as f64;
+        let p999 = samples[n * 999 / 1000] as f64;
+        assert!(samples[0] >= Dur::us(1).as_ps(), "below scale");
+        // For alpha=2: p50 = xm*sqrt(2) ≈ 1.41us, p99.9 = xm*sqrt(1000) ≈ 31.6us.
+        assert!((1.3e6..1.55e6).contains(&p50), "p50={p50}");
+        assert!(p999 > 20e6, "tail not heavy: p999={p999}");
+        assert_eq!(d.mean(), Dur::us(2));
+    }
+
+    #[test]
+    fn trace_cycles_in_order() {
+        let d = DelayDist::Trace(vec![Dur::ns(1), Dur::ns(2), Dur::ns(3)].into());
+        let mut r = rng();
+        let got: Vec<Dur> = (0..7).map(|i| d.sample(&mut r, i)).collect();
+        assert_eq!(
+            got,
+            vec![
+                Dur::ns(1),
+                Dur::ns(2),
+                Dur::ns(3),
+                Dur::ns(1),
+                Dur::ns(2),
+                Dur::ns(3),
+                Dur::ns(1)
+            ]
+        );
+        assert_eq!(d.mean(), Dur::ns(2));
+    }
+
+    #[test]
+    fn dist_gate_preserves_fifo_order() {
+        // Wildly varying delays must not reorder messages.
+        let mut g = DistGate::new(
+            DelayDist::Uniform {
+                lo: Dur::ns(0),
+                hi: Dur::us(100),
+            },
+            42,
+        );
+        let mut prev = Time::ZERO;
+        for k in 0..1000u64 {
+            let exit = g.pass(Time::ns(k * 10));
+            assert!(exit >= prev, "reordered at message {k}");
+            assert!(exit >= Time::ns(k * 10));
+            prev = exit;
+        }
+        assert_eq!(g.messages(), 1000);
+    }
+
+    #[test]
+    fn dist_gate_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut g = DistGate::new(DelayDist::Exponential { mean: Dur::us(1) }, seed);
+            (0..50)
+                .map(|k| g.pass(Time::ns(k * 100)).as_ps())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+}

@@ -1,0 +1,313 @@
+//! Cycle-accurate model of the borrower NIC egress, mirroring the exact
+//! insertion point of the delay module: "we introduce an additional module
+//! between the routing and multiplexer modules at the compute node egress"
+//! (§III-B).
+//!
+//! ```text
+//!                        ┌────────────┐
+//!            ┌─ data ──▶ │ DELAY GATE │ ──┐
+//! routing ───┤           └────────────┘   ├──▶ TX mux ──▶ monitor ──▶ wire
+//! (demux)    └─ ctrl ────────────────────-┘
+//! ```
+//!
+//! Only the memory-traffic path is gated; control traffic bypasses the
+//! injector, exactly as in the hardware design. The transaction-level
+//! engine is validated against this pipeline in the crate tests.
+
+use thymesim_axi::{
+    Beat, Consumer, DestDemux, Fifo, Monitor, MonitorHandle, Producer, ReadyPattern, RoundRobinMux,
+    SinkRecord, StreamSim,
+};
+use thymesim_delay::{ConstPeriod, CycleDelayGate};
+
+/// Destination tag for gated memory traffic.
+pub const DEST_DATA: u8 = 0;
+/// Destination tag for ungated control traffic.
+pub const DEST_CTRL: u8 = 1;
+
+/// Handles into a built egress pipeline.
+pub struct EgressPipeline {
+    pub sim: StreamSim,
+    /// Beats observed after the TX mux (i.e. on the wire).
+    pub wire_monitor: MonitorHandle,
+    /// Everything delivered, with delivery cycles.
+    pub delivered: SinkRecord,
+}
+
+impl EgressPipeline {
+    /// Build the egress with the given delay PERIOD and a traffic script.
+    /// Beat `dest` selects the path: [`DEST_DATA`] is gated,
+    /// [`DEST_CTRL`] bypasses.
+    pub fn build(period: u64, script: Vec<Beat>) -> EgressPipeline {
+        let mut sim = StreamSim::new();
+        let src = sim.add(Producer::new(script));
+        let routing = sim.add(DestDemux::new(2));
+        let gate = sim.add(CycleDelayGate::new(ConstPeriod(period)));
+        let mux = sim.add(RoundRobinMux::new(2));
+        let (mon, wire_monitor) = Monitor::new();
+        let mon = sim.add(mon);
+        let (sink, delivered) = Consumer::new(ReadyPattern::Always);
+        let sink = sim.add(sink);
+
+        sim.connect(src, 0, routing, 0);
+        sim.connect(routing, DEST_DATA as usize, gate, 0);
+        sim.connect(gate, 0, mux, 0);
+        sim.connect(routing, DEST_CTRL as usize, mux, 1);
+        sim.connect(mux, 0, mon, 0);
+        sim.connect(mon, 0, sink, 0);
+
+        EgressPipeline {
+            sim,
+            wire_monitor,
+            delivered,
+        }
+    }
+
+    /// Run until all `expected` beats are on the wire or `max_cycles` pass.
+    /// Returns the number delivered.
+    pub fn run_until_drained(&mut self, expected: usize, max_cycles: u64) -> usize {
+        let mut cycles = 0;
+        while self.delivered.borrow().len() < expected && cycles < max_cycles {
+            self.sim.tick();
+            cycles += 1;
+        }
+        self.delivered.borrow().len()
+    }
+}
+
+/// Destination tag for read responses on the ingress (cache-fill port).
+pub const DEST_FILL: u8 = 0;
+/// Destination tag for config responses / write acks (MMIO port).
+pub const DEST_MMIO: u8 = 1;
+
+/// Cycle-accurate borrower NIC ingress: the RX wire feeds a depacketizer
+/// FIFO, then a router steers read responses to the cache-fill port and
+/// control responses to the MMIO port.
+///
+/// ```text
+/// wire ──▶ RX FIFO ──▶ routing ──┬─ fill ──▶ cache-fill port
+/// (demux by kind)                └─ mmio ──▶ MMIO port
+/// ```
+pub struct IngressPipeline {
+    pub sim: StreamSim,
+    pub rx_monitor: MonitorHandle,
+    pub filled: SinkRecord,
+    pub mmio: SinkRecord,
+}
+
+impl IngressPipeline {
+    /// `fill_ready` models the cache-fill port's acceptance pattern (the
+    /// LLC can stall fills while handling demand traffic).
+    pub fn build(script: Vec<Beat>, fill_ready: ReadyPattern) -> IngressPipeline {
+        let mut sim = StreamSim::new();
+        let wire = sim.add(Producer::new(script));
+        let (mon, rx_monitor) = Monitor::new();
+        let mon = sim.add(mon);
+        let rx_fifo = sim.add(Fifo::new(8));
+        let routing = sim.add(DestDemux::new(2));
+        let (fill_sink, filled) = Consumer::new(fill_ready);
+        let fill_sink = sim.add(fill_sink);
+        let (mmio_sink, mmio) = Consumer::new(ReadyPattern::Always);
+        let mmio_sink = sim.add(mmio_sink);
+
+        sim.connect(wire, 0, mon, 0);
+        sim.connect(mon, 0, rx_fifo, 0);
+        sim.connect(rx_fifo, 0, routing, 0);
+        sim.connect(routing, DEST_FILL as usize, fill_sink, 0);
+        sim.connect(routing, DEST_MMIO as usize, mmio_sink, 0);
+
+        IngressPipeline {
+            sim,
+            rx_monitor,
+            filled,
+            mmio,
+        }
+    }
+
+    pub fn run_until_drained(&mut self, expected: usize, max_cycles: u64) -> usize {
+        let mut cycles = 0;
+        while self.filled.borrow().len() + self.mmio.borrow().len() < expected
+            && cycles < max_cycles
+        {
+            self.sim.tick();
+            cycles += 1;
+        }
+        self.filled.borrow().len() + self.mmio.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: u64) -> Vec<Beat> {
+        (0..n).map(|i| Beat::new(i).with_dest(DEST_DATA)).collect()
+    }
+
+    #[test]
+    fn all_beats_reach_the_wire_exactly_once() {
+        let mut p = EgressPipeline::build(3, data(50));
+        let delivered = p.run_until_drained(50, 10_000);
+        assert_eq!(delivered, 50);
+        let got = p.delivered.borrow();
+        let mut datas: Vec<u64> = got.iter().map(|(_, b)| b.data).collect();
+        datas.sort_unstable();
+        assert_eq!(datas, (0..50).collect::<Vec<_>>(), "loss or duplication");
+        assert_eq!(p.wire_monitor.borrow().beats, 50);
+    }
+
+    #[test]
+    fn data_path_is_paced_by_period() {
+        let period = 10;
+        let mut p = EgressPipeline::build(period, data(20));
+        p.run_until_drained(20, 10_000);
+        let got = p.delivered.borrow();
+        // Deliveries (after the mux's one-cycle grant latency) must be
+        // spaced at least PERIOD apart.
+        for w in got.windows(2) {
+            assert!(
+                w[1].0 - w[0].0 >= period,
+                "beats {} cycles apart, PERIOD={period}",
+                w[1].0 - w[0].0
+            );
+        }
+    }
+
+    #[test]
+    fn control_path_bypasses_the_gate() {
+        // Alternate data and control beats. Data is gated at PERIOD=50;
+        // each control beat, once past the (FIFO) routing stage, must flow
+        // straight through the bypass instead of waiting ~50 cycles for
+        // the next gate slot.
+        let mut script = Vec::new();
+        for i in 0..5u64 {
+            script.push(Beat::new(i).with_dest(DEST_DATA));
+            script.push(Beat::new(1000 + i).with_dest(DEST_CTRL));
+        }
+        let mut p = EgressPipeline::build(50, script);
+        p.run_until_drained(10, 100_000);
+        let got = p.delivered.borrow();
+        assert_eq!(got.len(), 10);
+        let data_cycles: Vec<u64> = got
+            .iter()
+            .filter(|(_, b)| b.dest == DEST_DATA)
+            .map(|(c, _)| *c)
+            .collect();
+        let ctrl_cycles: Vec<u64> = got
+            .iter()
+            .filter(|(_, b)| b.dest == DEST_CTRL)
+            .map(|(c, _)| *c)
+            .collect();
+        // Data beats are spaced by the gate.
+        for w in data_cycles.windows(2) {
+            assert!(w[1] - w[0] >= 50, "data not gated: {data_cycles:?}");
+        }
+        // Each control beat follows its preceding data beat within a few
+        // cycles (demux + mux), far less than one PERIOD.
+        for (d, c) in data_cycles.iter().zip(&ctrl_cycles) {
+            assert!(c > d, "ctrl beat enqueued after its data beat");
+            assert!(
+                c - d <= 5,
+                "ctrl beat waited {} cycles — it went through the gate (data {:?}, ctrl {:?})",
+                c - d,
+                data_cycles,
+                ctrl_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn period_one_matches_vanilla_throughput() {
+        // With PERIOD=1 the pipeline sustains one beat per cycle after the
+        // fill, i.e. the gate is invisible (vanilla ThymesisFlow).
+        let mut p = EgressPipeline::build(1, data(100));
+        p.run_until_drained(100, 1_000);
+        let got = p.delivered.borrow();
+        assert_eq!(got.len(), 100);
+        let span = got.last().unwrap().0 - got.first().unwrap().0;
+        assert_eq!(span, 99, "must stream back-to-back at PERIOD=1");
+    }
+
+    #[test]
+    fn cycle_pipeline_matches_analytic_gate_grants() {
+        // Saturated data traffic through the full egress (demux → gate →
+        // mux) must deliver beats at exactly the analytic gate's grant
+        // spacing — validating the transaction-level engine's hot path
+        // against the cycle-accurate hardware model, mux and all.
+        use thymesim_delay::AnalyticGate;
+        use thymesim_sim::Clock;
+        let period = 13u64;
+        let n = 40u64;
+        let mut p = EgressPipeline::build(period, data(n));
+        p.run_until_drained(n as usize, 100_000);
+        let got: Vec<u64> = p.delivered.borrow().iter().map(|(c, _)| *c).collect();
+        assert_eq!(got.len(), n as usize);
+
+        let mut gate = AnalyticGate::new(thymesim_delay::ConstPeriod(period), Clock::mhz(250));
+        let mut expected = Vec::new();
+        for _ in 0..n {
+            expected.push(gate.grant_cycle(0));
+        }
+        // The mux adds a constant pass-through offset; spacing must match
+        // grant-for-grant.
+        let d_got: Vec<u64> = got.windows(2).map(|w| w[1] - w[0]).collect();
+        let d_exp: Vec<u64> = expected.windows(2).map(|w| w[1] - w[0]).collect();
+        assert_eq!(d_got, d_exp, "cycle-level spacing diverged from analytic");
+    }
+
+    #[test]
+    fn no_protocol_violations_under_heavy_gating() {
+        let mut p = EgressPipeline::build(97, data(10));
+        p.run_until_drained(10, 100_000);
+        assert!(p.sim.violations().is_empty());
+    }
+}
+#[cfg(test)]
+mod ingress_tests {
+    use super::*;
+
+    fn mixed(n: u64) -> Vec<Beat> {
+        (0..n)
+            .map(|i| Beat::new(i).with_dest(if i % 4 == 3 { DEST_MMIO } else { DEST_FILL }))
+            .collect()
+    }
+
+    #[test]
+    fn routes_fills_and_mmio_separately() {
+        let mut p = IngressPipeline::build(mixed(40), ReadyPattern::Always);
+        let got = p.run_until_drained(40, 10_000);
+        assert_eq!(got, 40);
+        assert_eq!(p.filled.borrow().len(), 30);
+        assert_eq!(p.mmio.borrow().len(), 10);
+        assert_eq!(p.rx_monitor.borrow().beats, 40);
+        assert!(p.sim.violations().is_empty());
+    }
+
+    #[test]
+    fn responses_stay_in_order_through_the_fifo() {
+        let mut p = IngressPipeline::build(mixed(64), ReadyPattern::EveryK(3));
+        p.run_until_drained(64, 10_000);
+        let filled = p.filled.borrow();
+        for w in filled.windows(2) {
+            assert!(w[1].1.data > w[0].1.data, "fills reordered");
+        }
+    }
+
+    #[test]
+    fn stalled_fill_port_backpressures_the_wire() {
+        // Fill port never ready: the RX FIFO (depth 8) fills, then the
+        // wire stalls — no beats are dropped.
+        let mut p = IngressPipeline::build(mixed(40), ReadyPattern::Never);
+        p.run_until_drained(40, 2_000);
+        // Only MMIO traffic *behind* the first stuck fill beat is blocked
+        // too (head-of-line in the shared FIFO): nothing is lost, the
+        // monitor counts exactly what entered.
+        let entered = p.rx_monitor.borrow().beats;
+        assert!(
+            entered <= 10,
+            "wire must stall once buffers fill: {entered}"
+        );
+        assert_eq!(p.filled.borrow().len(), 0);
+        assert!(p.sim.violations().is_empty());
+    }
+}

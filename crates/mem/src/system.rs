@@ -1,0 +1,375 @@
+//! The node-level memory system: LLC + local DRAM + (optionally) a remote
+//! backend behind the cache-coherent interface.
+//!
+//! Every workload access flows through [`MemSystem::access`]: an LLC
+//! lookup, then on a miss either the local DRAM channel or the remote
+//! fabric, with dirty victims written back to wherever they live. Data and
+//! timing travel together — the typed accessors return both the value and
+//! the completion time.
+
+use crate::addr::{Addr, AddressMap, Region};
+use crate::backing::Backing;
+use crate::cache::{Cache, CacheConfig, Lookup};
+use crate::dram::SharedDram;
+use thymesim_sim::{Dur, Histogram, Time};
+
+/// The remote-memory side of the node, implemented by the fabric crate
+/// (or by [`NoRemote`] for a node without disaggregated memory).
+pub trait RemoteBackend {
+    /// Fetch one cache line whose miss was detected at `at`; returns the
+    /// time the line is available to the core.
+    fn fetch_line(&mut self, at: Time, addr: Addr) -> Time;
+
+    /// Posted write-back of a dirty line. Does not block the demand miss;
+    /// the backend accounts for its bandwidth internally.
+    fn writeback_line(&mut self, at: Time, addr: Addr);
+}
+
+/// A node with no remote memory attached (e.g. the lender's own CPU).
+/// Any remote access is a configuration bug and panics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoRemote;
+
+impl RemoteBackend for NoRemote {
+    fn fetch_line(&mut self, _at: Time, addr: Addr) -> Time {
+        panic!("remote access to {addr:?} but no disaggregated memory is attached");
+    }
+    fn writeback_line(&mut self, _at: Time, addr: Addr) {
+        panic!("remote writeback to {addr:?} but no disaggregated memory is attached");
+    }
+}
+
+/// Latency constants for the on-chip part of the hierarchy.
+#[derive(Clone, Copy, Debug)]
+pub struct SysTiming {
+    /// Effective load-to-use time for an LLC hit (folds L1/L2/L3 into one).
+    pub llc_hit: Dur,
+}
+
+impl Default for SysTiming {
+    fn default() -> Self {
+        SysTiming {
+            llc_hit: Dur::ns(4),
+        }
+    }
+}
+
+/// Access counters split by where misses were served.
+#[derive(Clone, Debug, Default)]
+pub struct MemStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub local_miss: u64,
+    pub remote_miss: u64,
+    pub local_writebacks: u64,
+    pub remote_writebacks: u64,
+    /// Latency of demand misses served from remote memory.
+    pub remote_latency: Histogram,
+    /// Latency of demand misses served from local DRAM.
+    pub local_latency: Histogram,
+}
+
+/// One node's memory hierarchy with real data and simulated time.
+pub struct MemSystem<R> {
+    pub map: AddressMap,
+    cache: Cache,
+    timing: SysTiming,
+    local: SharedDram,
+    remote: R,
+    backing: Backing,
+    pub stats: MemStats,
+}
+
+impl<R: RemoteBackend> MemSystem<R> {
+    pub fn new(
+        map: AddressMap,
+        cache_cfg: CacheConfig,
+        local: SharedDram,
+        timing: SysTiming,
+        remote: R,
+    ) -> MemSystem<R> {
+        assert_eq!(
+            cache_cfg.line, map.line,
+            "cache line and address-map line must agree"
+        );
+        MemSystem {
+            map,
+            cache: Cache::new(cache_cfg),
+            timing,
+            local,
+            remote,
+            backing: Backing::new(),
+            stats: MemStats::default(),
+        }
+    }
+
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats
+    }
+
+    pub fn remote(&self) -> &R {
+        &self.remote
+    }
+
+    pub fn remote_mut(&mut self) -> &mut R {
+        &mut self.remote
+    }
+
+    /// Raw backing store (zero-time initialization of working sets).
+    pub fn backing_mut(&mut self) -> &mut Backing {
+        &mut self.backing
+    }
+
+    pub fn backing(&self) -> &Backing {
+        &self.backing
+    }
+
+    /// Timed access to the line containing `addr`. Returns the completion
+    /// time of the *demand* access; dirty-victim write-backs are posted.
+    #[inline]
+    pub fn access(&mut self, at: Time, addr: Addr, write: bool) -> Time {
+        self.access_info(at, addr, write).0
+    }
+
+    /// Like [`MemSystem::access`], also reporting whether the access
+    /// missed the LLC (i.e. allocated an MSHR / fetch). Workload issue
+    /// models use this to bound their outstanding line fetches.
+    pub fn access_info(&mut self, at: Time, addr: Addr, write: bool) -> (Time, bool) {
+        if write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        let line = self.map.line_of(addr);
+        match self.cache.access(line, write) {
+            Lookup::Hit => (at + self.timing.llc_hit, false),
+            Lookup::Miss { writeback } => {
+                // Retire the victim first (posted; costs bandwidth, not
+                // demand latency).
+                if let Some(victim) = writeback {
+                    match self.map.region(victim) {
+                        Region::Local => {
+                            self.stats.local_writebacks += 1;
+                            let line = self.map.line;
+                            self.local.borrow_mut().access(at, victim, line);
+                        }
+                        Region::Remote => {
+                            self.stats.remote_writebacks += 1;
+                            self.remote.writeback_line(at, victim);
+                        }
+                    }
+                }
+                // Fetch the demanded line.
+                let filled = match self.map.region(line) {
+                    Region::Local => {
+                        self.stats.local_miss += 1;
+                        let line_bytes = self.map.line;
+                        let done = self.local.borrow_mut().access(at, line, line_bytes).done;
+                        self.stats.local_latency.record((done - at).as_ps());
+                        done
+                    }
+                    Region::Remote => {
+                        self.stats.remote_miss += 1;
+                        let done = self.remote.fetch_line(at, line);
+                        self.stats.remote_latency.record((done - at).as_ps());
+                        done
+                    }
+                };
+                (filled + self.timing.llc_hit, true)
+            }
+        }
+    }
+
+    /// Drop every cached line (detach / barrier); dirty remote lines are
+    /// written back as posted traffic at time `at`.
+    pub fn flush_cache(&mut self, at: Time) {
+        let _ = at;
+        let _dirty = self.cache.flush();
+        // Timing of a full flush is dominated by the workload-visible
+        // barrier the caller models; data is already coherent in `backing`.
+    }
+
+    // -- typed, timed data accessors -------------------------------------
+
+    pub fn read_u64(&mut self, at: Time, a: Addr) -> (u64, Time) {
+        let t = self.access(at, a, false);
+        (self.backing.read_u64(a), t)
+    }
+
+    pub fn write_u64(&mut self, at: Time, a: Addr, v: u64) -> Time {
+        let t = self.access(at, a, true);
+        self.backing.write_u64(a, v);
+        t
+    }
+
+    pub fn read_u32(&mut self, at: Time, a: Addr) -> (u32, Time) {
+        let t = self.access(at, a, false);
+        (self.backing.read_u32(a), t)
+    }
+
+    pub fn write_u32(&mut self, at: Time, a: Addr, v: u32) -> Time {
+        let t = self.access(at, a, true);
+        self.backing.write_u32(a, v);
+        t
+    }
+
+    pub fn read_f64(&mut self, at: Time, a: Addr) -> (f64, Time) {
+        let t = self.access(at, a, false);
+        (self.backing.read_f64(a), t)
+    }
+
+    pub fn write_f64(&mut self, at: Time, a: Addr, v: f64) -> Time {
+        let t = self.access(at, a, true);
+        self.backing.write_f64(a, v);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::{shared, DramConfig};
+
+    struct FixedRemote {
+        latency: Dur,
+        fetches: u64,
+        writebacks: u64,
+    }
+
+    impl RemoteBackend for FixedRemote {
+        fn fetch_line(&mut self, at: Time, _addr: Addr) -> Time {
+            self.fetches += 1;
+            at + self.latency
+        }
+        fn writeback_line(&mut self, _at: Time, _addr: Addr) {
+            self.writebacks += 1;
+        }
+    }
+
+    fn sys(remote_lat_ns: u64) -> MemSystem<FixedRemote> {
+        let map = AddressMap::new(1 << 20, 1 << 20, 128);
+        MemSystem::new(
+            map,
+            CacheConfig {
+                sets: 4,
+                ways: 2,
+                line: 128,
+            },
+            shared(DramConfig {
+                bandwidth_bytes_per_sec: 128e9,
+                latency: Dur::ns(100),
+                banks: 1,
+            }),
+            SysTiming {
+                llc_hit: Dur::ns(4),
+            },
+            FixedRemote {
+                latency: Dur::ns(remote_lat_ns),
+                fetches: 0,
+                writebacks: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn hit_is_fast_miss_is_slow() {
+        let mut s = sys(1200);
+        let a = Addr(0);
+        let t_miss = s.access(Time::ZERO, a, false);
+        // local miss: 1ns transfer + 100ns latency + 4ns hit
+        assert_eq!(t_miss, Time::ns(105));
+        let t_hit = s.access(t_miss, a, false);
+        assert_eq!(t_hit, t_miss + Dur::ns(4));
+    }
+
+    #[test]
+    fn remote_miss_goes_through_backend() {
+        let mut s = sys(1200);
+        let a = s.map.remote_base_addr();
+        let t = s.access(Time::ZERO, a, false);
+        assert_eq!(t, Time::ns(1204));
+        assert_eq!(s.remote().fetches, 1);
+        assert_eq!(s.stats.remote_miss, 1);
+        assert_eq!(s.stats.local_miss, 0);
+    }
+
+    #[test]
+    fn dirty_remote_victim_is_written_back_remotely() {
+        let mut s = sys(1000);
+        let base = s.map.remote_base_addr();
+        // Cache geometry: 4 sets × 128B lines → same set every 512B.
+        s.access(Time::ZERO, base, true); // dirty remote line, set 0
+        s.access(Time::ZERO, base.offset(512), false); // same set
+        s.access(Time::ZERO, base.offset(1024), false); // evicts the dirty line
+        assert_eq!(s.remote().writebacks, 1);
+        assert_eq!(s.stats.remote_writebacks, 1);
+    }
+
+    #[test]
+    fn dirty_local_victim_uses_local_bus() {
+        let mut s = sys(1000);
+        s.access(Time::ZERO, Addr(0), true);
+        s.access(Time::ZERO, Addr(512), false);
+        s.access(Time::ZERO, Addr(1024), false);
+        assert_eq!(s.stats.local_writebacks, 1);
+        assert_eq!(s.remote().writebacks, 0);
+    }
+
+    #[test]
+    fn typed_accessors_return_data_and_time() {
+        let mut s = sys(1200);
+        let a = s.map.remote_base_addr();
+        let t1 = s.write_f64(Time::ZERO, a, 2.5);
+        let (v, t2) = s.read_f64(t1, a);
+        assert_eq!(v, 2.5);
+        assert_eq!(t2, t1 + Dur::ns(4), "second access must hit");
+    }
+
+    #[test]
+    fn same_line_scalars_share_one_miss() {
+        let mut s = sys(1200);
+        let a = s.map.remote_base_addr();
+        s.read_u64(Time::ZERO, a);
+        s.read_u64(Time::ZERO, a.offset(8));
+        s.read_u64(Time::ZERO, a.offset(120));
+        assert_eq!(s.stats.remote_miss, 1, "one line, one miss");
+        assert_eq!(s.cache_stats().hits, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no disaggregated memory")]
+    fn no_remote_panics_on_remote_access() {
+        let map = AddressMap::new(1 << 20, 1 << 20, 128);
+        let mut s = MemSystem::new(
+            map,
+            CacheConfig::tiny(),
+            shared(DramConfig::default()),
+            SysTiming::default(),
+            NoRemote,
+        );
+        let a = s.map.remote_base_addr();
+        s.access(Time::ZERO, a, false);
+    }
+
+    #[test]
+    fn latency_histograms_populated() {
+        let mut s = sys(2000);
+        s.access(Time::ZERO, s.map.remote_base_addr(), false);
+        s.access(Time::ZERO, Addr(0), false);
+        assert_eq!(s.stats.remote_latency.count(), 1);
+        assert_eq!(s.stats.local_latency.count(), 1);
+        assert!(s.stats.remote_latency.mean() > s.stats.local_latency.mean());
+    }
+
+    #[test]
+    fn flush_makes_next_access_miss() {
+        let mut s = sys(1200);
+        let a = Addr(0);
+        s.access(Time::ZERO, a, false);
+        s.access(Time::ZERO, a, false);
+        assert_eq!(s.cache_stats().hits, 1);
+        s.flush_cache(Time::ZERO);
+        s.access(Time::ZERO, a, false);
+        assert_eq!(s.cache_stats().misses, 2);
+    }
+}

@@ -1,0 +1,28 @@
+//! # thymesim-net
+//!
+//! The network substrate: serial point-to-point links with FIFO queueing
+//! ([`link`]), output-queued switches and multi-hop paths for the
+//! beyond-rack topologies the paper anticipates ([`switch`]), and
+//! published datacenter latency envelopes used to classify injected
+//! delays against production percentiles ([`datacenter`]).
+
+//! ```
+//! use thymesim_net::*;
+//! use thymesim_sim::Time;
+//!
+//! // An oversubscribed rack uplink shared by two flows.
+//! let up = shared_link(LinkConfig::copper_100g());
+//! let a = up.borrow_mut().send(Time::ZERO, 100_000);
+//! let b = up.borrow_mut().send(Time::ZERO, 100_000);
+//! assert!(b > a); // the second flow queues
+//! ```
+
+pub mod datacenter;
+pub mod link;
+pub mod switch;
+pub mod topology;
+
+pub use datacenter::LatencyProfile;
+pub use link::{shared_link, LinkConfig, SerialLink, SharedLink};
+pub use switch::{FabricNet, Path, Switch};
+pub use topology::{Route, TreeConfig, TreeTopology};

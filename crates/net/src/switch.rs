@@ -1,0 +1,170 @@
+//! Output-queued switch and multi-hop paths — the "beyond rack-scale"
+//! fabric the paper's characterization anticipates.
+//!
+//! Each switch port's egress is a [`SerialLink`]; a message crossing the
+//! switch pays a fixed forwarding latency and then queues on the output
+//! port. Congestion (multiple flows converging on one output) emerges as
+//! queueing delay, which is precisely the failure mode the delay injector
+//! emulates on the prototype.
+
+use crate::link::{LinkConfig, SerialLink};
+use thymesim_sim::{Dur, Time};
+
+/// A switch with `radix` ports, each with an egress link of the given
+/// configuration.
+pub struct Switch {
+    ports: Vec<SerialLink>,
+    /// Fixed cut-through forwarding latency.
+    pub forward_latency: Dur,
+}
+
+impl Switch {
+    pub fn new(radix: usize, egress: LinkConfig, forward_latency: Dur) -> Switch {
+        assert!(radix >= 2);
+        Switch {
+            ports: (0..radix).map(|_| SerialLink::new(egress)).collect(),
+            forward_latency,
+        }
+    }
+
+    pub fn radix(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Forward a message arriving at `at` out of `out_port`.
+    pub fn forward(&mut self, at: Time, out_port: usize, bytes: u64) -> Time {
+        let queued_at = at + self.forward_latency;
+        self.ports[out_port].send(queued_at, bytes)
+    }
+
+    pub fn port(&self, i: usize) -> &SerialLink {
+        &self.ports[i]
+    }
+}
+
+/// A route from borrower to lender: an access link, zero or more
+/// (switch, out-port) hops, each followed by its egress wire.
+pub struct Path {
+    /// First hop: the sender's NIC egress wire.
+    pub access: SerialLink,
+    /// Subsequent switch hops (switch index managed by the caller).
+    hops: Vec<(usize, usize)>, // (switch id, out port)
+}
+
+/// A small fabric: switches indexed by id, plus helper to push a message
+/// along a path.
+pub struct FabricNet {
+    pub switches: Vec<Switch>,
+}
+
+impl FabricNet {
+    pub fn new(switches: Vec<Switch>) -> FabricNet {
+        FabricNet { switches }
+    }
+
+    /// Deliver a message along `path`, returning final arrival time.
+    pub fn transfer(&mut self, path: &mut Path, at: Time, bytes: u64) -> Time {
+        let mut t = path.access.send(at, bytes);
+        for &(sw, port) in &path.hops {
+            t = self.switches[sw].forward(t, port, bytes);
+        }
+        t
+    }
+}
+
+impl Path {
+    pub fn direct(access: LinkConfig) -> Path {
+        Path {
+            access: SerialLink::new(access),
+            hops: Vec::new(),
+        }
+    }
+
+    pub fn through(access: LinkConfig, hops: Vec<(usize, usize)>) -> Path {
+        Path {
+            access: SerialLink::new(access),
+            hops,
+        }
+    }
+
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_link() -> LinkConfig {
+        LinkConfig {
+            bits_per_sec: 100e9,
+            propagation: Dur::ns(50),
+        }
+    }
+
+    #[test]
+    fn direct_path_is_just_the_link() {
+        let mut net = FabricNet::new(vec![]);
+        let mut p = Path::direct(fast_link());
+        let t = net.transfer(&mut p, Time::ZERO, 128);
+        assert_eq!(t, Time::ps(10_240 + 50_000));
+        assert_eq!(p.hop_count(), 0);
+    }
+
+    #[test]
+    fn each_hop_adds_latency() {
+        let sw = || Switch::new(4, fast_link(), Dur::ns(300));
+        let mut net = FabricNet::new(vec![sw(), sw()]);
+        let mut direct = Path::direct(fast_link());
+        let mut two_hop = Path::through(fast_link(), vec![(0, 1), (1, 2)]);
+        let t0 = net.transfer(&mut direct, Time::ZERO, 128);
+        let t2 = net.transfer(&mut two_hop, Time::ZERO, 128);
+        // Two extra (forward + serialize + propagate) legs.
+        let per_hop = Dur::ns(300) + Dur::ps(10_240) + Dur::ns(50);
+        assert_eq!(t2, t0 + per_hop + per_hop);
+    }
+
+    #[test]
+    fn converging_flows_congest_the_output_port() {
+        // Two flows share switch 0 port 3: the second message queues.
+        let mut net = FabricNet::new(vec![Switch::new(
+            4,
+            LinkConfig {
+                bits_per_sec: 80e9,
+                propagation: Dur::ZERO,
+            },
+            Dur::ZERO,
+        )]);
+        let mut a = Path::through(fast_link(), vec![(0, 3)]);
+        let mut b = Path::through(fast_link(), vec![(0, 3)]);
+        let big = 100_000u64; // 10 us at 10 GB/s on the shared egress
+        let ta = net.transfer(&mut a, Time::ZERO, big);
+        let tb = net.transfer(&mut b, Time::ZERO, big);
+        assert!(tb > ta, "second flow must queue behind the first");
+        // The queued flow finishes one full egress serialization (10 us at
+        // 10 GB/s) after the first.
+        assert_eq!(tb - ta, Dur::us(10));
+    }
+
+    #[test]
+    fn distinct_output_ports_do_not_interfere() {
+        let mut net = FabricNet::new(vec![Switch::new(4, fast_link(), Dur::ZERO)]);
+        let mut a = Path::through(fast_link(), vec![(0, 0)]);
+        let mut b = Path::through(fast_link(), vec![(0, 1)]);
+        let ta = net.transfer(&mut a, Time::ZERO, 100_000);
+        let tb = net.transfer(&mut b, Time::ZERO, 100_000);
+        assert_eq!(ta, tb, "different ports must not queue on each other");
+    }
+
+    #[test]
+    fn switch_port_stats_accumulate() {
+        let mut sw = Switch::new(2, fast_link(), Dur::ns(100));
+        sw.forward(Time::ZERO, 1, 128);
+        sw.forward(Time::ZERO, 1, 128);
+        assert_eq!(sw.port(1).messages, 2);
+        assert_eq!(sw.port(1).bytes_sent, 256);
+        assert_eq!(sw.port(0).messages, 0);
+        assert_eq!(sw.radix(), 2);
+    }
+}

@@ -1,0 +1,31 @@
+//! # thymesim-sim
+//!
+//! Discrete-event simulation kernel underlying the thymesim stack:
+//!
+//! * [`time`] — integer-picosecond virtual time and clock domains;
+//! * [`queue`] — deterministic future-event list with FIFO tie-breaking;
+//! * [`engine`] — actor-based event dispatch for message-driven components;
+//! * [`process`] — virtual-time interleaving of workload instances;
+//! * [`rng`] — self-contained deterministic generators (SplitMix64,
+//!   xoshiro256**) so results are stable across platforms and crate
+//!   versions;
+//! * [`stats`] — Welford accumulators, log-linear histograms, throughput
+//!   meters, and least-squares fits for the validation experiments.
+//!
+//! Everything in thymesim that advances "time" goes through these types;
+//! no component reads wall-clock time, so every experiment is exactly
+//! reproducible from its seed and configuration.
+
+pub mod engine;
+pub mod process;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Actor, ActorId, Ctx, Engine, Event};
+pub use process::{run as run_processes, Process, RunStats, Step};
+pub use queue::EventQueue;
+pub use rng::{SplitMix64, Xoshiro256};
+pub use stats::{linear_fit, Histogram, LinearFit, SeriesRecorder, ThroughputMeter, Welford};
+pub use time::{Clock, Dur, Time};

@@ -1,0 +1,524 @@
+//! Streaming statistics: Welford mean/variance, log-linear latency
+//! histograms with percentile queries, throughput meters, and a tiny
+//! least-squares helper used by the delay-injection validation experiment.
+
+use crate::time::{Dur, Time};
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+#[derive(Clone, Debug, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    pub fn new() -> Welford {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        let mean = self.mean + d * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + d * d * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// HDR-style log-linear histogram over `u64` values (we store picoseconds).
+///
+/// Values are bucketed by (exponent, 32 linear sub-buckets), giving ≲ 3%
+/// relative error on percentile queries over a 1 ps – 10 s span with a
+/// fixed 2 KiB-per-histogram footprint.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// counts[exp][sub]: exp in 0..64-SUB_BITS, sub in 0..32
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+const SUB_BITS: u32 = 5;
+const SUBS: usize = 1 << SUB_BITS;
+// Region 0 is the linear range [0, SUBS); regions 1..=64-SUB_BITS cover one
+// power-of-two exponent each, up to u64::MAX.
+const EXPS: usize = 64 - SUB_BITS as usize + 1;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; EXPS * SUBS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn index(v: u64) -> usize {
+        // Values below SUBS map to the linear region (exp 0).
+        if v < SUBS as u64 {
+            return v as usize;
+        }
+        let exp = 63 - v.leading_zeros(); // >= SUB_BITS
+                                          // For v in [2^exp, 2^(exp+1)), the SUB_BITS bits right below the top
+                                          // bit select the linear sub-bucket.
+        let shift = exp - SUB_BITS;
+        let sub = ((v >> shift) & (SUBS as u64 - 1)) as usize;
+        ((exp - SUB_BITS + 1) as usize) * SUBS + sub
+    }
+
+    /// Lower bound of the bucket with the given flat index.
+    fn bucket_low(idx: usize) -> u64 {
+        let exp = idx / SUBS;
+        let sub = (idx % SUBS) as u64;
+        if exp == 0 {
+            sub
+        } else {
+            let shift = exp as u32 - 1 + SUB_BITS;
+            (1u64 << shift) + (sub << (shift - SUB_BITS))
+        }
+    }
+
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::index(v)] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    #[inline]
+    pub fn record_dur(&mut self, d: Dur) {
+        self.record(d.as_ps());
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    pub fn mean_dur(&self) -> Dur {
+        Dur(self.mean().round() as u64)
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+    pub fn max(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Value at quantile `q` in [0, 1]; returns a bucket lower bound, i.e.
+    /// an under-estimate by at most one bucket width (≈3%).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut acc = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Self::bucket_low(i).max(self.min).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Counts bytes over simulated time to report sustained bandwidth.
+#[derive(Clone, Debug, Default)]
+pub struct ThroughputMeter {
+    bytes: u64,
+    first: Option<Time>,
+    last: Time,
+}
+
+impl ThroughputMeter {
+    pub fn new() -> ThroughputMeter {
+        ThroughputMeter::default()
+    }
+
+    #[inline]
+    pub fn record(&mut self, at: Time, bytes: u64) {
+        self.bytes += bytes;
+        if self.first.is_none() {
+            self.first = Some(at);
+        }
+        if at > self.last {
+            self.last = at;
+        }
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Mean bandwidth in bytes/second over the observed interval.
+    pub fn bytes_per_sec(&self) -> f64 {
+        match self.first {
+            Some(first) if self.last > first => {
+                self.bytes as f64 / (self.last - first).as_secs_f64()
+            }
+            _ => 0.0,
+        }
+    }
+
+    pub fn gib_per_sec(&self) -> f64 {
+        self.bytes_per_sec() / (1u64 << 30) as f64
+    }
+}
+
+/// Windowed time series: aggregates samples into fixed windows of
+/// simulated time, for "metric over the run" reporting (e.g. latency
+/// before/during/after a mid-run delay change).
+#[derive(Clone, Debug)]
+pub struct SeriesRecorder {
+    window: Dur,
+    origin: Time,
+    /// (sum, count) per window index.
+    windows: Vec<(u128, u64)>,
+}
+
+impl SeriesRecorder {
+    pub fn new(origin: Time, window: Dur) -> SeriesRecorder {
+        assert!(window.as_ps() > 0);
+        SeriesRecorder {
+            window,
+            origin,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Record `value` at instant `at` (times before `origin` clamp to
+    /// window 0).
+    pub fn record(&mut self, at: Time, value: u64) {
+        let idx = (at.since(self.origin).as_ps() / self.window.as_ps()) as usize;
+        if idx >= self.windows.len() {
+            self.windows.resize(idx + 1, (0, 0));
+        }
+        let w = &mut self.windows[idx];
+        w.0 += value as u128;
+        w.1 += 1;
+    }
+
+    /// `(window_end_time, mean, count)` per window, in order.
+    pub fn series(&self) -> Vec<(Time, f64, u64)> {
+        self.windows
+            .iter()
+            .enumerate()
+            .map(|(i, &(sum, n))| {
+                let end = self.origin + Dur::ps(self.window.as_ps() * (i as u64 + 1));
+                let mean = if n == 0 { 0.0 } else { sum as f64 / n as f64 };
+                (end, mean, n)
+            })
+            .collect()
+    }
+
+    pub fn window(&self) -> Dur {
+        self.window
+    }
+}
+
+/// Simple ordinary-least-squares fit, used to validate the linear
+/// PERIOD ↔ latency relationship the paper reports (§III-B).
+#[derive(Clone, Copy, Debug)]
+pub struct LinearFit {
+    pub slope: f64,
+    pub intercept: f64,
+    /// Pearson correlation coefficient.
+    pub r: f64,
+}
+
+pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
+    let n = points.len() as f64;
+    assert!(points.len() >= 2, "need at least two points to fit a line");
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let syy: f64 = points.iter().map(|p| p.1 * p.1).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let cov = sxy - sx * sy / n;
+    let var_x = sxx - sx * sx / n;
+    let var_y = syy - sy * sy / n;
+    let slope = cov / var_x;
+    let intercept = (sy - slope * sx) / n;
+    let r = if var_x <= 0.0 || var_y <= 0.0 {
+        0.0
+    } else {
+        cov / (var_x.sqrt() * var_y.sqrt())
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+        assert_eq!(w.min(), 1.0);
+        assert_eq!(w.max(), 10.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        let mut whole = Welford::new();
+        for i in 0..100 {
+            let x = (i * i % 37) as f64;
+            whole.push(x);
+            if i % 2 == 0 {
+                a.push(x)
+            } else {
+                b.push(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_close() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 1000); // 1..10000 us in ps
+        }
+        let p50 = h.p50() as f64;
+        let p99 = h.p99() as f64;
+        assert!((p50 / 5_000_000.0 - 1.0).abs() < 0.05, "p50={p50}");
+        assert!((p99 / 9_900_000.0 - 1.0).abs() < 0.05, "p99={p99}");
+        assert_eq!(h.min(), 1000);
+        assert_eq!(h.max(), 10_000_000);
+        assert!((h.mean() / 5_000_500.0 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_handles_tiny_and_huge() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX / 2);
+        assert_eq!(h.count(), 3);
+        assert!(h.quantile(1.0) >= u64::MAX / 4);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 0..1000u64 {
+            whole.record(v * 7);
+            if v % 2 == 0 {
+                a.record(v * 7)
+            } else {
+                b.record(v * 7)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.p50(), whole.p50());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn bucket_low_is_monotone_and_consistent() {
+        let mut prev = 0;
+        for idx in 0..(EXPS * SUBS) {
+            let low = Histogram::bucket_low(idx);
+            assert!(low >= prev, "bucket lows must be nondecreasing");
+            prev = low;
+        }
+        // Every value indexes into a bucket whose range contains it.
+        for v in [0u64, 1, 31, 32, 33, 100, 1023, 1024, 1 << 40, u64::MAX] {
+            let idx = Histogram::index(v);
+            let low = Histogram::bucket_low(idx);
+            assert!(low <= v, "low {low} > value {v}");
+        }
+    }
+
+    #[test]
+    fn throughput_meter_bandwidth() {
+        let mut m = ThroughputMeter::new();
+        m.record(Time::ZERO, 0);
+        m.record(Time::secs(1), 1 << 30);
+        assert!((m.gib_per_sec() - 1.0).abs() < 1e-9);
+        assert_eq!(m.bytes(), 1 << 30);
+    }
+
+    #[test]
+    fn throughput_meter_empty_is_zero() {
+        assert_eq!(ThroughputMeter::new().bytes_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn series_recorder_windows_and_means() {
+        let mut r = SeriesRecorder::new(Time::us(10), Dur::us(5));
+        r.record(Time::us(11), 100);
+        r.record(Time::us(14), 200);
+        r.record(Time::us(16), 50);
+        r.record(Time::us(27), 10); // window 3, leaving window 2 empty
+        let s = r.series();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0], (Time::us(15), 150.0, 2));
+        assert_eq!(s[1], (Time::us(20), 50.0, 1));
+        assert_eq!(s[2].2, 0, "empty window has zero count");
+        assert_eq!(s[3].2, 1);
+        // Times before the origin clamp into the first window.
+        r.record(Time::us(1), 300);
+        assert_eq!(r.series()[0].2, 3);
+        assert_eq!(r.window(), Dur::us(5));
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let pts: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, 3.0 * i as f64 + 7.0)).collect();
+        let f = linear_fit(&pts);
+        assert!((f.slope - 3.0).abs() < 1e-9);
+        assert!((f.intercept - 7.0).abs() < 1e-9);
+        assert!((f.r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_uncorrelated_r_small() {
+        // A symmetric V shape has zero linear correlation.
+        let pts: Vec<(f64, f64)> = (-25..=25).map(|i| (i as f64, (i as f64).abs())).collect();
+        let f = linear_fit(&pts);
+        assert!(f.r.abs() < 1e-9, "r={} for V shape", f.r);
+    }
+}

@@ -1,0 +1,887 @@
+//! The Graph500 benchmark: Kronecker graph generation, timed BFS and
+//! SSSP kernels, and result validation.
+//!
+//! The paper runs problem scale 20 with edgefactor 16 (≈1 GB working set)
+//! and reports job completion time. Graph traversal is the antithesis of
+//! STREAM: data-dependent, low-locality reads with little prefetchability,
+//! which is why its degradation under injected delay is catastrophic
+//! (Table I: ×2209 at PERIOD=1000) while Redis barely notices.
+//!
+//! The kernels run *for real*: BFS produces a parent tree and SSSP a
+//! distance array, both validated against untimed host-side reference
+//! computations.
+
+use crate::issue::IssueRing;
+use thymesim_mem::{Arena, MemSystem, RemoteBackend, SimVec};
+use thymesim_sim::{Dur, Time, Xoshiro256};
+
+/// Kronecker initiator probabilities from the Graph500 specification.
+const KRON_A: f64 = 0.57;
+const KRON_B: f64 = 0.19;
+const KRON_C: f64 = 0.19;
+
+/// Sentinel for "no parent / unreached".
+pub const NO_PARENT: u32 = u32::MAX;
+/// Sentinel distance.
+pub const INF: u32 = u32::MAX;
+
+/// Benchmark configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Graph500Config {
+    /// log2 of the vertex count (paper: 20).
+    pub scale: u32,
+    /// Edges per vertex (paper: 16).
+    pub edgefactor: u32,
+    /// Logical cores traversing in parallel (the AC922 exposes 128 SMT
+    /// threads; the reference sequential code uses 1).
+    pub cores: u32,
+    /// Outstanding accesses per core: small — traversal is data-dependent.
+    pub mlp_per_core: usize,
+    /// BFS/SSSP roots per run (Graph500 runs 64; we default lower and
+    /// scale in the harness).
+    pub roots: u32,
+    /// RNG seed for generation and root selection.
+    pub seed: u64,
+    /// CPU work per traversed edge (BFS).
+    pub cpu_per_edge: Dur,
+    /// Extra CPU work per relaxation (SSSP does arithmetic + compare).
+    pub cpu_per_relax: Dur,
+    /// Maximum edge weight for SSSP (uniform in `1..=max_weight`).
+    pub max_weight: u32,
+    /// Delta-stepping bucket width.
+    pub delta: u32,
+}
+
+impl Default for Graph500Config {
+    fn default() -> Self {
+        Graph500Config {
+            scale: 20,
+            edgefactor: 16,
+            cores: 128,
+            mlp_per_core: 2,
+            roots: 4,
+            seed: 0x6261_7265,
+            cpu_per_edge: Dur::ns(2),
+            cpu_per_relax: Dur::ns(8),
+            max_weight: 255,
+            delta: 32,
+        }
+    }
+}
+
+impl Graph500Config {
+    /// The fully threaded configuration used for the Table I extreme-delay
+    /// runs: 128 SMT contexts keep the NIC window saturated.
+    pub fn parallel() -> Graph500Config {
+        Graph500Config::default()
+    }
+
+    /// The moderate-concurrency reference configuration used for the
+    /// Fig. 5 sweep (see DESIGN.md §5 on the two Graph500 operating
+    /// points implied by the paper).
+    pub fn reference() -> Graph500Config {
+        Graph500Config {
+            cores: 4,
+            mlp_per_core: 2,
+            ..Graph500Config::default()
+        }
+    }
+
+    /// Small instance for tests.
+    pub fn tiny() -> Graph500Config {
+        Graph500Config {
+            scale: 10,
+            edgefactor: 8,
+            cores: 4,
+            roots: 2,
+            ..Graph500Config::default()
+        }
+    }
+
+    pub fn vertices(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    pub fn edges(&self) -> u64 {
+        self.vertices() * self.edgefactor as u64
+    }
+}
+
+/// The graph in CSR form, living in simulated memory.
+pub struct CsrGraph {
+    pub n: u64,
+    /// Directed entry count (2 × undirected edges).
+    pub m2: u64,
+    pub xadj: SimVec<u64>,
+    pub adj: SimVec<u32>,
+    pub weights: SimVec<u32>,
+}
+
+/// Generate a Kronecker edge list per the Graph500 reference (including
+/// the vertex and edge permutations that de-correlate ids from degrees).
+pub fn kronecker_edges(cfg: &Graph500Config) -> Vec<(u32, u32)> {
+    let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
+    let n = cfg.vertices();
+    let m = cfg.edges();
+    let ab = KRON_A + KRON_B;
+    let c_norm = KRON_C / (1.0 - ab);
+    let a_norm = KRON_A / ab;
+
+    let mut edges = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        let (mut i, mut j) = (0u64, 0u64);
+        for b in 0..cfg.scale {
+            let ii = rng.chance(ab);
+            let jj = if ii {
+                rng.chance(a_norm)
+            } else {
+                rng.chance(c_norm)
+            };
+            // The spec's noise-free quadrant walk: high bit first.
+            let bit = 1u64 << (cfg.scale - 1 - b);
+            if !ii {
+                i |= bit;
+            }
+            if !jj {
+                j |= bit;
+            }
+        }
+        edges.push((i as u32, j as u32));
+    }
+
+    // Permute vertex labels.
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    rng.shuffle(&mut perm);
+    for e in edges.iter_mut() {
+        *e = (perm[e.0 as usize], perm[e.1 as usize]);
+    }
+    // Permute edge order.
+    rng.shuffle(&mut edges);
+    edges
+}
+
+/// Which CSR array, for per-array placement policies (page-migration
+/// studies put the hot, small arrays in local memory).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GraphArray {
+    Xadj,
+    Adj,
+    Weights,
+    /// The output array (BFS parent tree / SSSP distances).
+    Out,
+}
+
+/// Per-array placement: `true` = remote (disaggregated) memory.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphPlacement {
+    pub xadj_remote: bool,
+    pub adj_remote: bool,
+    pub weights_remote: bool,
+    pub out_remote: bool,
+}
+
+impl GraphPlacement {
+    pub fn all_remote() -> GraphPlacement {
+        GraphPlacement {
+            xadj_remote: true,
+            adj_remote: true,
+            weights_remote: true,
+            out_remote: true,
+        }
+    }
+    pub fn all_local() -> GraphPlacement {
+        GraphPlacement {
+            xadj_remote: false,
+            adj_remote: false,
+            weights_remote: false,
+            out_remote: false,
+        }
+    }
+    pub fn remote(self, a: GraphArray) -> bool {
+        match a {
+            GraphArray::Xadj => self.xadj_remote,
+            GraphArray::Adj => self.adj_remote,
+            GraphArray::Weights => self.weights_remote,
+            GraphArray::Out => self.out_remote,
+        }
+    }
+}
+
+/// Build the CSR with per-array placement across two arenas.
+pub fn build_csr_placed<R: RemoteBackend>(
+    cfg: &Graph500Config,
+    sys: &mut MemSystem<R>,
+    local: &mut Arena,
+    remote: &mut Arena,
+    placement: GraphPlacement,
+) -> CsrGraph {
+    let edges = kronecker_edges(cfg);
+    let n = cfg.vertices();
+    let m2 = edges.len() as u64 * 2;
+
+    let mut degree = vec![0u64; n as usize];
+    for &(u, v) in &edges {
+        degree[u as usize] += 1;
+        degree[v as usize] += 1;
+    }
+    let xadj: SimVec<u64> = if placement.xadj_remote {
+        remote.alloc_vec(n + 1)
+    } else {
+        local.alloc_vec(n + 1)
+    };
+    let adj: SimVec<u32> = if placement.adj_remote {
+        remote.alloc_vec(m2)
+    } else {
+        local.alloc_vec(m2)
+    };
+    let weights: SimVec<u32> = if placement.weights_remote {
+        remote.alloc_vec(m2)
+    } else {
+        local.alloc_vec(m2)
+    };
+
+    fill_csr(cfg, sys, &edges, &degree, &xadj, &adj, &weights);
+    CsrGraph {
+        n,
+        m2,
+        xadj,
+        adj,
+        weights,
+    }
+}
+
+/// Build the CSR in simulated memory (untimed — graph construction is not
+/// part of the timed kernels, as in the reference benchmark).
+pub fn build_csr<R: RemoteBackend>(
+    cfg: &Graph500Config,
+    sys: &mut MemSystem<R>,
+    arena: &mut Arena,
+) -> CsrGraph {
+    let edges = kronecker_edges(cfg);
+    let n = cfg.vertices();
+    let m2 = edges.len() as u64 * 2;
+
+    let mut degree = vec![0u64; n as usize];
+    for &(u, v) in &edges {
+        degree[u as usize] += 1;
+        degree[v as usize] += 1;
+    }
+    let xadj: SimVec<u64> = arena.alloc_vec(n + 1);
+    let adj: SimVec<u32> = arena.alloc_vec(m2);
+    let weights: SimVec<u32> = arena.alloc_vec(m2);
+    fill_csr(cfg, sys, &edges, &degree, &xadj, &adj, &weights);
+    CsrGraph {
+        n,
+        m2,
+        xadj,
+        adj,
+        weights,
+    }
+}
+
+/// Populate CSR arrays from an edge list (untimed).
+fn fill_csr<R: RemoteBackend>(
+    cfg: &Graph500Config,
+    sys: &mut MemSystem<R>,
+    edges: &[(u32, u32)],
+    degree: &[u64],
+    xadj: &SimVec<u64>,
+    adj: &SimVec<u32>,
+    weights: &SimVec<u32>,
+) {
+    let n = cfg.vertices();
+    let mut offset = 0u64;
+    let mut cursor = vec![0u64; n as usize];
+    for v in 0..n as usize {
+        xadj.set_raw(sys, v as u64, offset);
+        cursor[v] = offset;
+        offset += degree[v];
+    }
+    xadj.set_raw(sys, n, offset);
+
+    let mut wrng = Xoshiro256::seed_from_u64(cfg.seed ^ 0x057A_71C5);
+    let put = |sys: &mut MemSystem<R>, cursor: &mut [u64], from: u32, to: u32| {
+        let slot = cursor[from as usize];
+        adj.set_raw(sys, slot, to);
+        cursor[from as usize] += 1;
+        slot
+    };
+    for &(u, v) in edges {
+        let w = 1 + wrng.next_u32() % cfg.max_weight;
+        let s1 = put(sys, &mut cursor, u, v);
+        let s2 = put(sys, &mut cursor, v, u);
+        weights.set_raw(sys, s1, w);
+        weights.set_raw(sys, s2, w);
+    }
+}
+
+/// Pick `roots` distinct vertices with non-zero degree (Graph500 rule).
+pub fn pick_roots<R: RemoteBackend>(
+    cfg: &Graph500Config,
+    sys: &MemSystem<R>,
+    g: &CsrGraph,
+) -> Vec<u32> {
+    let mut rng = Xoshiro256::seed_from_u64(cfg.seed ^ 0x0070_0075);
+    let mut roots = Vec::new();
+    let mut guard = 0;
+    while roots.len() < cfg.roots as usize {
+        guard += 1;
+        assert!(
+            guard < 1_000_000,
+            "could not find enough non-isolated roots"
+        );
+        let v = rng.below(g.n) as u32;
+        let lo = g.xadj.get_raw(sys, v as u64);
+        let hi = g.xadj.get_raw(sys, v as u64 + 1);
+        if hi > lo && !roots.contains(&v) {
+            roots.push(v);
+        }
+    }
+    roots
+}
+
+/// Per-run kernel outcome.
+#[derive(Clone, Debug)]
+pub struct TraversalRun {
+    pub root: u32,
+    pub elapsed: Dur,
+    pub edges_traversed: u64,
+    pub reached: u64,
+}
+
+/// Aggregate report for a set of roots.
+#[derive(Clone, Debug)]
+pub struct Graph500Report {
+    pub runs: Vec<TraversalRun>,
+    /// Sum of per-root kernel times — the job-completion-time metric.
+    pub total_time: Dur,
+    /// Traversed edges per second (Graph500's TEPS), harmonic style.
+    pub mean_teps: f64,
+    pub validated: bool,
+}
+
+impl Graph500Report {
+    fn from_runs(runs: Vec<TraversalRun>, validated: bool) -> Graph500Report {
+        let total: Dur = runs.iter().map(|r| r.elapsed).sum();
+        let edges: u64 = runs.iter().map(|r| r.edges_traversed).sum();
+        Graph500Report {
+            mean_teps: if total == Dur::ZERO {
+                0.0
+            } else {
+                edges as f64 / total.as_secs_f64()
+            },
+            total_time: total,
+            runs,
+            validated,
+        }
+    }
+}
+
+/// The gang of logical cores traversing a frontier in lockstep levels.
+struct Gang {
+    rings: Vec<IssueRing>,
+    times: Vec<Time>,
+    cpu_per_edge: Dur,
+}
+
+impl Gang {
+    fn new(cfg: &Graph500Config, start: Time, cpu_per_edge: Dur) -> Gang {
+        Gang {
+            rings: (0..cfg.cores)
+                .map(|_| IssueRing::new(cfg.mlp_per_core))
+                .collect(),
+            times: vec![start; cfg.cores as usize],
+            cpu_per_edge,
+        }
+    }
+
+    /// Perform one timed access on core `c`, returning its completion.
+    #[inline]
+    fn access<R: RemoteBackend, F>(&mut self, c: usize, sys: &mut MemSystem<R>, op: F) -> Time
+    where
+        F: FnOnce(&mut MemSystem<R>, Time) -> Time,
+    {
+        let at = self.rings[c].issue_at(self.times[c]);
+        let done = op(sys, at);
+        self.rings[c].push(done);
+        self.times[c] = at + self.cpu_per_edge;
+        done
+    }
+
+    /// The least-loaded core — work-stealing-style balance, essential
+    /// because Kronecker degrees are heavy-tailed (a hub vertex would
+    /// serialize a whole level under round-robin assignment).
+    fn pick_core(&self) -> usize {
+        let mut best = 0;
+        let mut best_t = self.times[0];
+        for (c, &t) in self.times.iter().enumerate().skip(1) {
+            if t < best_t {
+                best_t = t;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Level barrier: all cores synchronize to the slowest.
+    fn barrier(&mut self) -> Time {
+        let mut t = Time::ZERO;
+        for (r, ct) in self.rings.iter().zip(&self.times) {
+            t = t.max2(r.horizon()).max2(*ct);
+        }
+        for (r, ct) in self.rings.iter_mut().zip(self.times.iter_mut()) {
+            r.reset(t);
+            *ct = t;
+        }
+        t
+    }
+}
+
+/// Timed level-synchronous top-down BFS from `root`.
+pub fn bfs<R: RemoteBackend>(
+    cfg: &Graph500Config,
+    sys: &mut MemSystem<R>,
+    g: &CsrGraph,
+    parent: &SimVec<u32>,
+    root: u32,
+    start: Time,
+) -> TraversalRun {
+    for v in 0..g.n {
+        parent.set_raw(sys, v, NO_PARENT);
+    }
+    let mut gang = Gang::new(cfg, start, cfg.cpu_per_edge);
+
+    parent.set_raw(sys, root as u64, root);
+    let mut frontier: Vec<u32> = vec![root];
+    let mut edges_traversed = 0u64;
+    let mut reached = 1u64;
+    let mut end = start;
+
+    while !frontier.is_empty() {
+        let mut next: Vec<u32> = Vec::new();
+        // Edge-parallel traversal, as in the reference OpenMP code: hub
+        // adjacency lists are chunked across cores (one adj cache line
+        // per chunk), or a single heavy-tailed hub would serialize the
+        // whole level.
+        const EDGE_CHUNK: u64 = 32;
+        for &v in frontier.iter() {
+            let c = gang.pick_core();
+            // Row bounds: two sequential u64 reads (usually one line).
+            let mut lo = 0;
+            gang.access(c, sys, |s, at| {
+                let (x, t) = g.xadj.get(s, at, v as u64);
+                lo = x;
+                t
+            });
+            let mut hi = 0;
+            gang.access(c, sys, |s, at| {
+                let (x, t) = g.xadj.get(s, at, v as u64 + 1);
+                hi = x;
+                t
+            });
+            let mut chunk_lo = lo;
+            while chunk_lo < hi {
+                let chunk_hi = (chunk_lo + EDGE_CHUNK).min(hi);
+                let c = gang.pick_core();
+                for e in chunk_lo..chunk_hi {
+                    edges_traversed += 1;
+                    let mut w = 0u32;
+                    gang.access(c, sys, |s, at| {
+                        let (x, t) = g.adj.get(s, at, e);
+                        w = x;
+                        t
+                    });
+                    // Check-and-claim the neighbour (read + cond. write).
+                    let mut pw = 0u32;
+                    gang.access(c, sys, |s, at| {
+                        let (x, t) = parent.get(s, at, w as u64);
+                        pw = x;
+                        t
+                    });
+                    if pw == NO_PARENT {
+                        gang.access(c, sys, |s, at| parent.set(s, at, w as u64, v));
+                        reached += 1;
+                        next.push(w);
+                    }
+                }
+                chunk_lo = chunk_hi;
+            }
+        }
+        let lvl_start = end;
+        end = gang.barrier();
+        if std::env::var("THYMESIM_BFS_TRACE").is_ok() {
+            eprintln!(
+                "level: frontier {} took {} (cum {})",
+                frontier.len(),
+                end - lvl_start,
+                end - start
+            );
+        }
+        frontier = next;
+    }
+
+    TraversalRun {
+        root,
+        elapsed: end - start,
+        edges_traversed,
+        reached,
+    }
+}
+
+/// Timed delta-stepping SSSP (label-correcting with distance buckets).
+pub fn sssp<R: RemoteBackend>(
+    cfg: &Graph500Config,
+    sys: &mut MemSystem<R>,
+    g: &CsrGraph,
+    dist: &SimVec<u32>,
+    root: u32,
+    start: Time,
+) -> TraversalRun {
+    for v in 0..g.n {
+        dist.set_raw(sys, v, INF);
+    }
+    let mut gang = Gang::new(cfg, start, cfg.cpu_per_relax);
+
+    dist.set_raw(sys, root as u64, 0);
+    let mut buckets: Vec<Vec<u32>> = vec![vec![root]];
+    let mut edges_traversed = 0u64;
+    let mut end = start;
+    let delta = cfg.delta.max(1);
+
+    let mut k = 0usize;
+    while k < buckets.len() {
+        while let Some(v) = {
+            let b = &mut buckets[k];
+            b.pop()
+        } {
+            let dv = dist.get_raw(sys, v as u64);
+            if (dv / delta) as usize != k {
+                continue; // stale entry, re-bucketed since
+            }
+            let c = gang.pick_core();
+            // Timed read of the settled distance and the row bounds.
+            gang.access(c, sys, |s, at| dist.get(s, at, v as u64).1);
+            let lo = g.xadj.get_raw(sys, v as u64);
+            let hi = g.xadj.get_raw(sys, v as u64 + 1);
+            gang.access(c, sys, |s, at| g.xadj.get(s, at, v as u64).1);
+            const EDGE_CHUNK: u64 = 32;
+            let mut chunk_lo = lo;
+            while chunk_lo < hi {
+                let chunk_hi = (chunk_lo + EDGE_CHUNK).min(hi);
+                let c = gang.pick_core();
+                for e in chunk_lo..chunk_hi {
+                    edges_traversed += 1;
+                    let mut w = 0u32;
+                    gang.access(c, sys, |s, at| {
+                        let (x, t) = g.adj.get(s, at, e);
+                        w = x;
+                        t
+                    });
+                    let mut wt = 0u32;
+                    gang.access(c, sys, |s, at| {
+                        let (x, t) = g.weights.get(s, at, e);
+                        wt = x;
+                        t
+                    });
+                    let nd = dv.saturating_add(wt);
+                    let mut dw = 0u32;
+                    gang.access(c, sys, |s, at| {
+                        let (x, t) = dist.get(s, at, w as u64);
+                        dw = x;
+                        t
+                    });
+                    if nd < dw {
+                        gang.access(c, sys, |s, at| dist.set(s, at, w as u64, nd));
+                        let nk = (nd / delta) as usize;
+                        if nk >= buckets.len() {
+                            buckets.resize(nk + 1, Vec::new());
+                        }
+                        buckets[nk].push(w);
+                    }
+                }
+                chunk_lo = chunk_hi;
+            }
+        }
+        end = gang.barrier();
+        k += 1;
+    }
+
+    let reached = (0..g.n).filter(|&v| dist.get_raw(sys, v) != INF).count() as u64;
+    TraversalRun {
+        root,
+        elapsed: end - start,
+        edges_traversed,
+        reached,
+    }
+}
+
+/// Untimed reference BFS levels (host-side) for validation.
+pub fn reference_levels<R: RemoteBackend>(sys: &MemSystem<R>, g: &CsrGraph, root: u32) -> Vec<u32> {
+    let mut level = vec![INF; g.n as usize];
+    level[root as usize] = 0;
+    let mut frontier = vec![root];
+    let mut d = 0;
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            let lo = g.xadj.get_raw(sys, v as u64);
+            let hi = g.xadj.get_raw(sys, v as u64 + 1);
+            for e in lo..hi {
+                let w = g.adj.get_raw(sys, e);
+                if level[w as usize] == INF {
+                    level[w as usize] = d + 1;
+                    next.push(w);
+                }
+            }
+        }
+        d += 1;
+        frontier = next;
+    }
+    level
+}
+
+/// Validate a BFS parent tree against reference levels (Graph500-style
+/// checks: root parentage, reachability equivalence, level consistency).
+pub fn validate_bfs<R: RemoteBackend>(
+    sys: &MemSystem<R>,
+    g: &CsrGraph,
+    parent: &SimVec<u32>,
+    root: u32,
+) -> bool {
+    let level = reference_levels(sys, g, root);
+    if parent.get_raw(sys, root as u64) != root {
+        return false;
+    }
+    for v in 0..g.n {
+        let p = parent.get_raw(sys, v);
+        let reachable = level[v as usize] != INF;
+        if (p == NO_PARENT) == reachable {
+            return false; // reached ⇔ has a parent
+        }
+        if p != NO_PARENT && v != root as u64 {
+            // Parent must be exactly one level up.
+            if level[v as usize] != level[p as usize] + 1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Untimed reference SSSP (Dijkstra) for validation.
+pub fn reference_sssp<R: RemoteBackend>(sys: &MemSystem<R>, g: &CsrGraph, root: u32) -> Vec<u32> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut dist = vec![INF; g.n as usize];
+    dist[root as usize] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0u32, root)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        let lo = g.xadj.get_raw(sys, v as u64);
+        let hi = g.xadj.get_raw(sys, v as u64 + 1);
+        for e in lo..hi {
+            let w = g.adj.get_raw(sys, e);
+            let wt = g.weights.get_raw(sys, e);
+            let nd = d.saturating_add(wt);
+            if nd < dist[w as usize] {
+                dist[w as usize] = nd;
+                heap.push(Reverse((nd, w)));
+            }
+        }
+    }
+    dist
+}
+
+/// Run the full benchmark (BFS phase) over `cfg.roots` roots.
+pub fn run_bfs_benchmark<R: RemoteBackend>(
+    cfg: &Graph500Config,
+    sys: &mut MemSystem<R>,
+    g: &CsrGraph,
+    parent: &SimVec<u32>,
+    validate: bool,
+) -> Graph500Report {
+    let roots = pick_roots(cfg, sys, g);
+    let mut runs = Vec::new();
+    let mut t = Time::ZERO;
+    let mut ok = true;
+    for root in roots {
+        let run = bfs(cfg, sys, g, parent, root, t);
+        t += run.elapsed;
+        if validate {
+            ok &= validate_bfs(sys, g, parent, root);
+        }
+        runs.push(run);
+    }
+    Graph500Report::from_runs(runs, ok)
+}
+
+/// Run the full benchmark (SSSP phase) over `cfg.roots` roots.
+pub fn run_sssp_benchmark<R: RemoteBackend>(
+    cfg: &Graph500Config,
+    sys: &mut MemSystem<R>,
+    g: &CsrGraph,
+    dist: &SimVec<u32>,
+    validate: bool,
+) -> Graph500Report {
+    let roots = pick_roots(cfg, sys, g);
+    let mut runs = Vec::new();
+    let mut t = Time::ZERO;
+    let mut ok = true;
+    for root in roots {
+        let run = sssp(cfg, sys, g, dist, root, t);
+        t += run.elapsed;
+        if validate {
+            let reference = reference_sssp(sys, g, root);
+            for v in 0..g.n {
+                if dist.get_raw(sys, v) != reference[v as usize] {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        runs.push(run);
+    }
+    Graph500Report::from_runs(runs, ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thymesim_mem::{
+        shared_dram, Addr, AddressMap, CacheConfig, DramConfig, NoRemote, SysTiming,
+    };
+
+    fn sys() -> MemSystem<NoRemote> {
+        MemSystem::new(
+            AddressMap::new(256 << 20, 256 << 20, 128),
+            CacheConfig::tiny(),
+            shared_dram(DramConfig::default()),
+            SysTiming::default(),
+            NoRemote,
+        )
+    }
+
+    fn setup(cfg: &Graph500Config) -> (MemSystem<NoRemote>, CsrGraph, Arena) {
+        let mut s = sys();
+        let mut arena = Arena::new(Addr(0), 256 << 20);
+        let g = build_csr(cfg, &mut s, &mut arena);
+        (s, g, arena)
+    }
+
+    #[test]
+    fn kronecker_is_deterministic_and_sized() {
+        let cfg = Graph500Config::tiny();
+        let e1 = kronecker_edges(&cfg);
+        let e2 = kronecker_edges(&cfg);
+        assert_eq!(e1, e2);
+        assert_eq!(e1.len() as u64, cfg.edges());
+        assert!(e1
+            .iter()
+            .all(|&(u, v)| (u as u64) < cfg.vertices() && (v as u64) < cfg.vertices()));
+    }
+
+    #[test]
+    fn kronecker_is_skewed() {
+        // Kronecker graphs have a heavy-tailed degree distribution: the
+        // max degree must far exceed the mean.
+        let cfg = Graph500Config::tiny();
+        let edges = kronecker_edges(&cfg);
+        let mut deg = vec![0u32; cfg.vertices() as usize];
+        for &(u, v) in &edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let mean = 2.0 * cfg.edgefactor as f64;
+        assert!(
+            max as f64 > 5.0 * mean,
+            "max degree {max} not heavy-tailed vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn csr_is_consistent() {
+        let cfg = Graph500Config::tiny();
+        let (s, g, _a) = setup(&cfg);
+        assert_eq!(g.xadj.get_raw(&s, 0), 0);
+        assert_eq!(g.xadj.get_raw(&s, g.n), g.m2);
+        // Row bounds are monotone.
+        let mut prev = 0;
+        for v in 0..=g.n {
+            let x = g.xadj.get_raw(&s, v);
+            assert!(x >= prev);
+            prev = x;
+        }
+        // Adjacency is symmetric: count (u,v) == count (v,u) via totals.
+        assert_eq!(g.m2, cfg.edges() * 2);
+    }
+
+    #[test]
+    fn bfs_parent_tree_validates() {
+        let cfg = Graph500Config::tiny();
+        let (mut s, g, mut arena) = setup(&cfg);
+        let parent: SimVec<u32> = arena.alloc_vec(g.n);
+        let report = run_bfs_benchmark(&cfg, &mut s, &g, &parent, true);
+        assert!(report.validated, "BFS parent tree failed validation");
+        assert_eq!(report.runs.len(), cfg.roots as usize);
+        for r in &report.runs {
+            assert!(r.reached > 1, "root {} reached nothing", r.root);
+            assert!(r.elapsed > Dur::ZERO);
+        }
+        assert!(report.mean_teps > 0.0);
+    }
+
+    #[test]
+    fn sssp_distances_match_dijkstra() {
+        let cfg = Graph500Config::tiny();
+        let (mut s, g, mut arena) = setup(&cfg);
+        let dist: SimVec<u32> = arena.alloc_vec(g.n);
+        let report = run_sssp_benchmark(&cfg, &mut s, &g, &dist, true);
+        assert!(report.validated, "SSSP distances diverge from Dijkstra");
+    }
+
+    #[test]
+    fn sssp_takes_longer_than_bfs() {
+        let cfg = Graph500Config::tiny();
+        let (mut s, g, mut arena) = setup(&cfg);
+        let parent: SimVec<u32> = arena.alloc_vec(g.n);
+        let dist: SimVec<u32> = arena.alloc_vec(g.n);
+        let b = run_bfs_benchmark(&cfg, &mut s, &g, &parent, false);
+        let d = run_sssp_benchmark(&cfg, &mut s, &g, &dist, false);
+        assert!(
+            d.total_time > b.total_time,
+            "SSSP ({}) should exceed BFS ({})",
+            d.total_time,
+            b.total_time
+        );
+    }
+
+    #[test]
+    fn more_cores_speed_up_bfs() {
+        let mut cfg = Graph500Config::tiny();
+        cfg.cores = 1;
+        let (mut s1, g1, mut a1) = setup(&cfg);
+        let p1: SimVec<u32> = a1.alloc_vec(g1.n);
+        let r1 = run_bfs_benchmark(&cfg, &mut s1, &g1, &p1, false);
+        cfg.cores = 16;
+        let (mut s16, g16, mut a16) = setup(&cfg);
+        let p16: SimVec<u32> = a16.alloc_vec(g16.n);
+        let r16 = run_bfs_benchmark(&cfg, &mut s16, &g16, &p16, false);
+        let speedup = r1.total_time.as_secs_f64() / r16.total_time.as_secs_f64();
+        assert!(speedup > 2.0, "16 cores only {speedup:.2}x faster than 1");
+    }
+
+    #[test]
+    fn roots_have_degree() {
+        let cfg = Graph500Config::tiny();
+        let (s, g, _a) = setup(&cfg);
+        for root in pick_roots(&cfg, &s, &g) {
+            let lo = g.xadj.get_raw(&s, root as u64);
+            let hi = g.xadj.get_raw(&s, root as u64 + 1);
+            assert!(hi > lo, "root {root} is isolated");
+        }
+    }
+}

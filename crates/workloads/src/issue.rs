@@ -1,0 +1,90 @@
+//! Issue-window bookkeeping shared by the workloads: an MSHR-style model
+//! of a core (or SMT context) that can keep `cap` cache-line fetches
+//! outstanding. Streaming kernels use a large window (hardware prefetch
+//! saturates the NIC credits), pointer-chasing workloads a small one —
+//! the distinction that drives the paper's Redis-vs-Graph500 divergence.
+//!
+//! Only *misses* occupy slots; hits retire immediately in the cache.
+
+use std::collections::VecDeque;
+use thymesim_sim::Time;
+
+/// A sliding window of in-flight access completion times.
+#[derive(Clone, Debug)]
+pub struct IssueRing {
+    ring: VecDeque<Time>,
+    cap: usize,
+    horizon: Time,
+}
+
+impl IssueRing {
+    pub fn new(cap: usize) -> IssueRing {
+        IssueRing {
+            ring: VecDeque::with_capacity(cap.max(1)),
+            cap: cap.max(1),
+            horizon: Time::ZERO,
+        }
+    }
+
+    /// Earliest time a new access may issue, given the core is ready at
+    /// `cpu_ready`.
+    pub fn issue_at(&self, cpu_ready: Time) -> Time {
+        if self.ring.len() < self.cap {
+            cpu_ready
+        } else {
+            cpu_ready.max2(*self.ring.front().expect("ring full"))
+        }
+    }
+
+    /// Record a completed issue (retires the oldest slot when full).
+    pub fn push(&mut self, done: Time) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(done);
+        self.horizon = self.horizon.max2(done);
+    }
+
+    /// Latest completion observed — the drain point of the window.
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// Forget all in-flight accesses (barrier) and restart at `at`.
+    pub fn reset(&mut self, at: Time) {
+        self.ring.clear();
+        self.horizon = at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issues_freely_until_full() {
+        let r = IssueRing::new(2);
+        assert_eq!(r.issue_at(Time::ns(5)), Time::ns(5));
+    }
+
+    #[test]
+    fn full_ring_waits_for_oldest() {
+        let mut r = IssueRing::new(2);
+        r.push(Time::ns(100));
+        r.push(Time::ns(200));
+        assert_eq!(r.issue_at(Time::ZERO), Time::ns(100));
+        r.push(Time::ns(300)); // retires the 100
+        assert_eq!(r.issue_at(Time::ZERO), Time::ns(200));
+    }
+
+    #[test]
+    fn horizon_tracks_max_completion() {
+        let mut r = IssueRing::new(4);
+        r.push(Time::ns(50));
+        r.push(Time::ns(20));
+        assert_eq!(r.horizon(), Time::ns(50));
+        r.reset(Time::us(1));
+        assert_eq!(r.horizon(), Time::us(1));
+        assert_eq!(r.issue_at(Time::ZERO), Time::ZERO);
+    }
+}

@@ -1,0 +1,30 @@
+//! # thymesim-workloads
+//!
+//! The paper's three workloads, implemented as timing-annotated *real*
+//! programs over `thymesim-mem`:
+//!
+//! * [`stream`] — STREAM's copy/scale/add/triad kernels (§IV-A/B),
+//!   resumable per cache line so instances can contend (§IV-E);
+//! * [`kv`] — a Redis-like hash-table store under a memtier-style
+//!   closed-loop client with explicit network-stack costs (§IV-D);
+//! * [`graph500`] — Kronecker generation, timed BFS and delta-stepping
+//!   SSSP with Graph500-style validation (§IV-C/D);
+//! * [`issue`] — the shared issue-window model (a core's MLP), the knob
+//!   that separates prefetchable streaming from dependent pointer chasing.
+
+pub mod graph500;
+pub mod issue;
+pub mod kv;
+pub mod pagerank;
+pub mod probe;
+pub mod stream;
+pub mod trace;
+
+pub use graph500::{Graph500Config, Graph500Report};
+pub use kv::{KeyDist, KvConfig, KvReport, KvStore};
+pub use pagerank::{pagerank, PageRankConfig, PageRankReport, PageRankState};
+pub use probe::{ChaseTable, ProbeConfig, ProbeReport};
+pub use stream::{Kernel, StreamArrays, StreamConfig, StreamProcess, StreamReport, KERNELS};
+pub use trace::{
+    parse_trace, random_trace, replay, strided_trace, ReplayConfig, ReplayReport, TraceOp,
+};

@@ -1,0 +1,67 @@
+//! Sweep the delay injector across PERIOD values and validate the §III-B
+//! claims: linear PERIOD↔latency relation, realistic datacenter latency
+//! coverage, and a constant bandwidth-delay product.
+//!
+//! ```text
+//! cargo run --release --example delay_sweep
+//! ```
+
+use thymesim::net::LatencyProfile;
+use thymesim::prelude::*;
+use thymesim::sim::Dur;
+
+fn main() {
+    // Scaled LLC so the demo working set stays memory-bound (see
+    // DESIGN.md: working sets and caches scale together).
+    let mut base = TestbedConfig::default();
+    base.borrower.cache = thymesim::mem::CacheConfig {
+        sets: 4096,
+        ways: 15,
+        line: 128,
+    };
+    base.lender.cache = base.borrower.cache;
+    let stream = StreamConfig {
+        elements: 1_000_000,
+        ..StreamConfig::default()
+    };
+
+    let periods = [1, 2, 5, 10, 20, 50, 100, 200, 300];
+    println!("sweeping PERIOD over {periods:?}…\n");
+    let points = stream_delay_sweep(&base, &stream, &periods);
+
+    let profile = LatencyProfile::intra_datacenter();
+    println!(
+        "{:>7} {:>12} {:>14} {:>10} {:>12}",
+        "PERIOD", "latency", "bandwidth", "BDP", "dc pctile"
+    );
+    for p in &points {
+        println!(
+            "{:>7} {:>9.2} µs {:>9.3} GiB/s {:>7.1} KiB {:>10.1}%",
+            p.period,
+            p.latency_us,
+            p.bandwidth_gib_s,
+            p.bdp_kib,
+            profile.percentile_of(Dur::from_ns_f64(p.latency_us * 1000.0)) * 100.0
+        );
+    }
+
+    let v = validate_injection(&points);
+    println!("\nvalidation:");
+    println!(
+        "  linear fit: latency ≈ {:.3}·PERIOD + {:.2} µs (r = {:.5})",
+        v.fit_slope_us_per_period, v.fit.intercept, v.fit_r
+    );
+    println!(
+        "  latency range: {:.2}–{:.1} µs, covering the [0, {:.0}th] percentile envelope",
+        v.min_latency_us,
+        v.max_latency_us,
+        v.max_percentile_covered * 100.0
+    );
+    println!(
+        "  BDP: {:.1} KiB mean (CV {:.3}) — window({}) × line(128 B) = {} KiB",
+        v.bdp_mean_kib,
+        v.bdp_cv,
+        base.fabric.window,
+        base.fabric.window * 128 / 1024
+    );
+}

@@ -1,0 +1,63 @@
+//! Quickstart: build the two-node testbed, hot-plug disaggregated memory,
+//! inject delay, and run STREAM — the §IV-B experiment in ~40 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use thymesim::mem::CacheConfig;
+use thymesim::prelude::*;
+
+fn main() {
+    // The prototype, scaled for a quick demo: the LLC shrinks with the
+    // working set so STREAM stays memory-bound (the paper sizes STREAM
+    // beyond the cache; at full scale use `TestbedConfig::default()`
+    // with the default 10 M elements).
+    let mut base = TestbedConfig::default();
+    base.borrower.cache = CacheConfig {
+        sets: 4096,
+        ways: 15,
+        line: 128,
+    }; // 7.5 MiB
+    let vanilla = base.clone();
+
+    // The same system with the injector set to PERIOD = 100 FPGA cycles:
+    // one remote transaction admitted every 400 ns.
+    let delayed = base.with_period(100);
+
+    let stream = StreamConfig {
+        elements: 1_000_000, // 24 MB of arrays — 3x the scaled LLC
+        ..StreamConfig::default()
+    };
+
+    println!("running STREAM out of disaggregated memory…\n");
+    for (label, cfg) in [("vanilla (PERIOD=1)", &vanilla), ("PERIOD=100", &delayed)] {
+        let report = run_stream_on_testbed(cfg, &stream);
+        println!("{label}:");
+        println!(
+            "  remote access latency: {:.2} µs (p99 {:.2} µs)",
+            report.miss_latency_mean.as_us_f64(),
+            report.miss_latency_p99.as_us_f64()
+        );
+        for k in thymesim::workloads::stream::KERNELS {
+            let r = report.kernel(k);
+            println!(
+                "  {:<6} {:>8.3} GiB/s (best {:>10})",
+                k.name(),
+                r.bandwidth_gib_s,
+                format!("{}", r.best_time),
+            );
+        }
+        println!(
+            "  results verified: {}\n",
+            if report.verified { "yes" } else { "NO" }
+        );
+    }
+
+    // The attach itself fails at extreme PERIOD — the paper's Fig. 4
+    // "FPGA no longer detected" outcome.
+    match Testbed::build(&TestbedConfig::default().with_period(10_000)) {
+        Err(e) => println!("PERIOD=10000: attach failed as in the paper: {e:?}"),
+        Ok(_) => println!("PERIOD=10000: unexpectedly attached?!"),
+    }
+}

@@ -1,0 +1,83 @@
+//! The §IV-C resilience assessment: exponentially increasing delay until
+//! the system breaks, plus reliability-failure injection (link outages)
+//! and the machine-check monitor.
+//!
+//! ```text
+//! cargo run --release --example resilience
+//! ```
+
+use thymesim::fabric::Crash;
+use thymesim::prelude::*;
+use thymesim::sim::{Dur, Time};
+
+fn main() {
+    // Scaled LLC so the demo working set stays memory-bound (see
+    // DESIGN.md: working sets and caches scale together).
+    let mut base = TestbedConfig::default();
+    base.borrower.cache = thymesim::mem::CacheConfig {
+        sets: 4096,
+        ways: 15,
+        line: 128,
+    };
+    base.lender.cache = base.borrower.cache;
+    let stream = StreamConfig {
+        elements: 500_000,
+        ntimes: 1,
+        ..StreamConfig::default()
+    };
+
+    println!("Fig. 4 — stress sweep:");
+    for p in resilience_sweep(&base, &stream, &FIG4_PERIODS) {
+        match p.outcome {
+            ResilienceOutcome::Completed {
+                latency_us,
+                bandwidth_gib_s,
+            } => println!(
+                "  PERIOD={:<6} completed: {:>9.2} µs, {:.3} GiB/s",
+                p.period, latency_us, bandwidth_gib_s
+            ),
+            ResilienceOutcome::AttachTimeout {
+                elapsed_ms,
+                budget_ms,
+            } => println!(
+                "  PERIOD={:<6} FPGA not detected: discovery took {elapsed_ms:.2} ms \
+                 (budget {budget_ms:.0} ms) — disaggregated memory cannot be attached",
+                p.period
+            ),
+            ResilienceOutcome::MachineCheck { latency_ms } => println!(
+                "  PERIOD={:<6} machine check: a load stalled {latency_ms:.1} ms",
+                p.period
+            ),
+        }
+    }
+
+    // Reliability failures beyond the paper: a link flap mid-run. The
+    // fabric stalls traffic until "repair" completes; if the repair takes
+    // longer than the processor's load timeout, the node checkstops.
+    println!("\nlink-flap injection:");
+    for (label, down_ms) in [("brief flap (1 ms)", 1u64), ("long repair (200 ms)", 200)] {
+        let mut tb = Testbed::build(&base).expect("attach");
+        let t0 = tb.attach.ready_at;
+        tb.borrower
+            .remote_mut()
+            .outages
+            .add(t0 + Dur::us(100), t0 + Dur::us(100) + Dur::ms(down_ms));
+        // Touch remote memory across the outage.
+        let a = tb.remote_arena.alloc(1 << 20, 128);
+        let mut t = t0;
+        for i in 0..4096u64 {
+            t = tb.borrower.access(t, a.offset(i * 128), false);
+        }
+        match tb.crash() {
+            None => println!(
+                "  {label}: survived; run stretched to {} (worst access {})",
+                t - Time::ZERO,
+                tb.borrower.remote().health.worst_latency
+            ),
+            Some(Crash::MachineCheck { latency, .. }) => {
+                println!("  {label}: MACHINE CHECK — blocking load stalled {latency}")
+            }
+            Some(other) => println!("  {label}: crashed: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Replay a memory-access trace through the disaggregated testbed —
+//! feeding your own application's recorded accesses to the delay injector
+//! instead of the built-in benchmarks.
+//!
+//! ```text
+//! cargo run --release --example trace_replay            # built-in demo traces
+//! cargo run --release --example trace_replay mytrace.txt
+//! ```
+//!
+//! Trace format: one access per line, `R <offset> [count]` or
+//! `W <offset> [count]` (hex or decimal offsets, `#` comments).
+
+use thymesim::prelude::*;
+use thymesim::sim::Time;
+use thymesim::workloads::trace::{self, ReplayConfig, TraceOp};
+
+fn main() {
+    let ops: Vec<TraceOp> = match std::env::args().nth(1) {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            trace::parse_trace(&text).unwrap_or_else(|e| panic!("bad trace: {e}"))
+        }
+        None => {
+            println!("no trace file given — using built-in demo traces\n");
+            Vec::new()
+        }
+    };
+
+    let traces: Vec<(&str, Vec<TraceOp>, ReplayConfig)> = if ops.is_empty() {
+        vec![
+            (
+                "sequential scan (prefetchable)",
+                trace::strided_trace(100_000, 128, 8),
+                ReplayConfig {
+                    mlp: 128,
+                    ..ReplayConfig::default()
+                },
+            ),
+            (
+                "random reads, window 16",
+                trace::random_trace(100_000, 256 << 20, 0.1, 42),
+                ReplayConfig {
+                    mlp: 16,
+                    ..ReplayConfig::default()
+                },
+            ),
+            (
+                "dependent pointer chase",
+                trace::random_trace(20_000, 256 << 20, 0.0, 43),
+                ReplayConfig {
+                    dependent: true,
+                    ..ReplayConfig::default()
+                },
+            ),
+        ]
+    } else {
+        vec![("user trace", ops, ReplayConfig::default())]
+    };
+
+    println!(
+        "{:<32} {:>10} {:>14} {:>14} {:>14}",
+        "trace", "PERIOD", "mean latency", "p99", "throughput"
+    );
+    for (name, ops, rcfg) in &traces {
+        for period in [1u64, 100, 400] {
+            let cfg = TestbedConfig::default().with_period(period);
+            let mut tb = Testbed::build(&cfg).expect("attach");
+            let base = tb.remote_arena.alloc(512 << 20, 128);
+            // Warm the data (untimed).
+            for op in ops.iter() {
+                if op.write {
+                    tb.borrower
+                        .backing_mut()
+                        .write_u64(base.offset(op.offset & !7), 1);
+                }
+            }
+            let report = trace::replay(&mut tb.borrower, base, ops, rcfg, tb.attach.ready_at);
+            println!(
+                "{:<32} {:>10} {:>11.2} µs {:>11.2} µs {:>9.2} Mops/s",
+                name,
+                period,
+                report.latency.mean() / 1e6,
+                report.latency.p99() as f64 / 1e6,
+                report.ops_per_sec / 1e6,
+            );
+            let _ = Time::ZERO;
+        }
+        println!();
+    }
+    println!(
+        "Low-MLP and dependent traces feel the injector per access (alignment);\n\
+         high-MLP traces queue the full window — the Fig. 5 divergence, on your\n\
+         own access patterns."
+    );
+}

@@ -1,0 +1,68 @@
+//! Delay that varies *within* a run — the limitation §V calls out and the
+//! extension §VII promises. The injector is programmed with a piecewise
+//! PERIOD schedule (calm → congested → calm), and a pointer-chase probe
+//! reports per-window latency so the transitions are visible.
+//!
+//! ```text
+//! cargo run --release --example variable_delay
+//! ```
+
+use thymesim::fabric::DelaySpec;
+use thymesim::prelude::*;
+use thymesim::sim::Dur;
+
+fn main() {
+    // 250 MHz: 250_000 cycles per millisecond. Schedule: vanilla for the
+    // first ms, PERIOD=300 for the next (a congestion event), then a
+    // partial recovery at PERIOD=50.
+    let schedule = vec![(0u64, 1u64), (250_000, 300), (500_000, 50)];
+    let cfg = TestbedConfig::default().with_delay(DelaySpec::Piecewise(schedule.clone()));
+    let mut tb = Testbed::build(&cfg).expect("attach");
+
+    let probe = ProbeConfig {
+        lines: 1 << 17, // 16 MiB footprint — beyond any cache here
+        hops: 1 << 18,
+        ..ProbeConfig::default()
+    };
+    let Testbed {
+        borrower,
+        remote_arena,
+        attach,
+        ..
+    } = &mut tb;
+    let table = ChaseTable::build(&probe, borrower, remote_arena);
+
+    println!("piecewise PERIOD schedule: {schedule:?} (cycle = 4 ns)\n");
+    println!("{:>10} {:>14} {:>8}", "window end", "mean latency", "hops");
+
+    // Chase in fixed windows of virtual time, reporting each window.
+    let mut t = attach.ready_at;
+    let mut cur = 0u64;
+    let window = Dur::us(250);
+    let mut window_end = t + window;
+    let (mut sum_ps, mut n) = (0u64, 0u64);
+    let mut windows = 0;
+    for _ in 0..probe.hops {
+        let (nxt, done) = table.read_hop(borrower, t, cur);
+        sum_ps += (done - t).as_ps();
+        n += 1;
+        t = done + probe.cpu_per_hop;
+        cur = nxt;
+        if t >= window_end {
+            println!(
+                "{:>8}µs {:>11.3} µs {:>8}",
+                (window_end - thymesim::sim::Time::ZERO).as_us_f64() as u64,
+                sum_ps as f64 / n.max(1) as f64 / 1e6,
+                n
+            );
+            sum_ps = 0;
+            n = 0;
+            window_end += window;
+            windows += 1;
+            if windows >= 9 {
+                break;
+            }
+        }
+    }
+    println!("\nThe latency plateaus track the schedule: calm → spike → partial recovery.");
+}

@@ -1,0 +1,86 @@
+//! Reproducibility guarantees: identical configurations produce bitwise
+//! identical results, regardless of host threading, and distinct seeds
+//! genuinely diverge.
+
+use thymesim::prelude::*;
+use thymesim::workloads::graph500::{self, Graph500Config};
+use thymesim::workloads::kv::KvConfig;
+
+fn stream_cfg() -> StreamConfig {
+    let mut s = StreamConfig::tiny();
+    s.elements = 8192;
+    s
+}
+
+#[test]
+fn stream_results_are_bitwise_stable() {
+    let cfg = TestbedConfig::tiny().with_period(50);
+    let a = run_stream_on_testbed(&cfg, &stream_cfg());
+    let b = run_stream_on_testbed(&cfg, &stream_cfg());
+    assert_eq!(a.miss_latency_mean, b.miss_latency_mean);
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.copy.best_time, b.copy.best_time);
+    assert_eq!(
+        a.triad.bandwidth_gib_s.to_bits(),
+        b.triad.bandwidth_gib_s.to_bits()
+    );
+}
+
+#[test]
+fn sweeps_are_stable_under_rayon_parallelism() {
+    // The sweep runs points in parallel; re-running (with whatever thread
+    // interleaving rayon chooses) must give identical series.
+    let base = TestbedConfig::tiny();
+    let s1 = stream_delay_sweep(&base, &stream_cfg(), &[1, 20, 50]);
+    let s2 = stream_delay_sweep(&base, &stream_cfg(), &[1, 20, 50]);
+    for (a, b) in s1.iter().zip(&s2) {
+        assert_eq!(a.period, b.period);
+        assert_eq!(a.latency_us.to_bits(), b.latency_us.to_bits());
+        assert_eq!(a.bdp_kib.to_bits(), b.bdp_kib.to_bits());
+    }
+}
+
+#[test]
+fn kv_seed_changes_the_request_mix_only() {
+    let mut tb1 = Testbed::build(&TestbedConfig::tiny()).unwrap();
+    let mut cfg = KvConfig::tiny();
+    let r1 = run_kv(&mut tb1, &cfg, Placement::Remote);
+    cfg.seed ^= 0xDEAD;
+    let mut tb2 = Testbed::build(&TestbedConfig::tiny()).unwrap();
+    let r2 = run_kv(&mut tb2, &cfg, Placement::Remote);
+    assert_eq!(r1.requests, r2.requests, "request count is config-driven");
+    assert_ne!(
+        (r1.gets, r1.sets),
+        (r2.gets, r2.sets),
+        "different seeds should draw a different GET/SET mix"
+    );
+    assert!(r1.data_ok && r2.data_ok);
+}
+
+#[test]
+fn graph_generation_is_seed_deterministic() {
+    let cfg = Graph500Config::tiny();
+    assert_eq!(
+        graph500::kronecker_edges(&cfg),
+        graph500::kronecker_edges(&cfg)
+    );
+    let other = Graph500Config {
+        seed: cfg.seed + 1,
+        ..cfg
+    };
+    assert_ne!(
+        graph500::kronecker_edges(&cfg),
+        graph500::kronecker_edges(&other)
+    );
+}
+
+#[test]
+fn contention_results_are_stable() {
+    let base = TestbedConfig::tiny();
+    let a = mcbn(&base, &stream_cfg(), &[2]);
+    let b = mcbn(&base, &stream_cfg(), &[2]);
+    assert_eq!(
+        a[0].per_instance_gib_s.to_bits(),
+        b[0].per_instance_gib_s.to_bits()
+    );
+}

@@ -1,0 +1,102 @@
+//! End-to-end integration: the full attach → run → observe cycle through
+//! the public `thymesim` facade, across all three workloads.
+
+use thymesim::fabric::AttachError;
+use thymesim::prelude::*;
+use thymesim::workloads::graph500::Graph500Config;
+use thymesim::workloads::kv::KvConfig;
+
+fn quick_graph() -> Graph500Config {
+    Graph500Config {
+        scale: 11,
+        edgefactor: 8,
+        roots: 2,
+        cores: 4,
+        ..Graph500Config::tiny()
+    }
+}
+
+#[test]
+fn attach_run_all_three_workloads() {
+    let mut tb = Testbed::build(&TestbedConfig::tiny()).expect("attach");
+
+    // STREAM.
+    let mut scfg = StreamConfig::tiny();
+    scfg.elements = 8192;
+    let stream = run_stream(&mut tb, &scfg, Placement::Remote);
+    assert!(stream.verified);
+
+    // KV.
+    let kv = run_kv(&mut tb, &KvConfig::tiny(), Placement::Remote);
+    assert!(kv.data_ok);
+
+    // Graph500 BFS with validation.
+    let bfs = run_graph500(
+        &mut tb,
+        &quick_graph(),
+        GraphKernel::Bfs,
+        Placement::Remote,
+        true,
+    );
+    assert!(bfs.validated);
+
+    // The whole run stayed healthy.
+    assert!(tb.crash().is_none());
+    assert!(tb.borrower.remote().stats.reads > 0);
+}
+
+#[test]
+fn detach_then_reuse_of_remote_memory_panics() {
+    let mut tb = Testbed::build(&TestbedConfig::tiny()).expect("attach");
+    let a = tb.remote_arena.alloc(128, 128);
+    let ready = tb.attach.ready_at;
+    tb.borrower.access(ready, a, false);
+    // Detach through the control plane.
+    let base = tb.borrower.map.remote_base;
+    let engine = tb.borrower.remote_mut();
+    tb.control.detach(engine, base);
+    assert!(!tb.borrower.remote().is_attached());
+    // Accessing a *new* (uncached) remote line must now fault.
+    let b = tb.remote_arena.alloc(128, 128);
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        tb.borrower.access(ready, b, false);
+    }));
+    assert!(res.is_err(), "detached remote access must fail loudly");
+}
+
+#[test]
+fn discovery_timeout_surfaces_via_facade() {
+    match Testbed::build(&TestbedConfig::tiny().with_period(10_000)) {
+        Err(AttachError::DiscoveryTimeout { elapsed, budget }) => {
+            assert!(elapsed > budget);
+        }
+        Err(other) => panic!("expected discovery timeout, got {other:?}"),
+        Ok(_) => panic!("attach unexpectedly succeeded at PERIOD=10000"),
+    }
+}
+
+#[test]
+fn local_placement_never_touches_the_fabric() {
+    let mut tb = Testbed::build(&TestbedConfig::tiny()).expect("attach");
+    let mut scfg = StreamConfig::tiny();
+    scfg.elements = 8192;
+    run_stream(&mut tb, &scfg, Placement::Local);
+    assert_eq!(
+        tb.borrower.remote().stats.reads,
+        0,
+        "local-placement STREAM must not generate remote traffic"
+    );
+}
+
+#[test]
+fn degradation_ratios_are_consistent_between_apis() {
+    // The sweep API and a manual pair of runs must agree.
+    let base = TestbedConfig::tiny();
+    let mut scfg = StreamConfig::tiny();
+    scfg.elements = 8192;
+    let sweep = stream_delay_sweep(&base, &scfg, &[1, 100]);
+    let manual_1 = run_stream_on_testbed(&base.clone().with_period(1), &scfg);
+    let manual_100 = run_stream_on_testbed(&base.clone().with_period(100), &scfg);
+    assert!((sweep[0].latency_us - manual_1.miss_latency_mean.as_us_f64()).abs() < 1e-6);
+    assert!((sweep[1].latency_us - manual_100.miss_latency_mean.as_us_f64()).abs() < 1e-6);
+}

@@ -1,0 +1,75 @@
+//! Integration coverage of the beyond-the-paper extensions through the
+//! public facade: switched congestion, pooling, topology, QoS migration,
+//! and the placement allocator.
+
+use thymesim::net::{LinkConfig, TreeConfig};
+use thymesim::prelude::*;
+use thymesim::workloads::graph500::Graph500Config;
+
+fn quick_stream() -> StreamConfig {
+    let mut s = StreamConfig::tiny();
+    s.elements = 16_384;
+    s
+}
+
+#[test]
+fn congestion_maps_onto_a_period() {
+    let r = emulation_fidelity(
+        &TestbedConfig::tiny(),
+        &quick_stream(),
+        LinkConfig::copper_100g(),
+        2,
+    );
+    assert!(r.matched_period >= 2, "2 pairs must map above vanilla");
+    assert!(r.mean_error < 0.3, "{r:?}");
+}
+
+#[test]
+fn pooling_and_borrowing_regimes_differ() {
+    let server = pooling_sweep(&TestbedConfig::tiny(), &quick_stream(), 140.0, &[4]);
+    let pool = pooling_sweep(&TestbedConfig::tiny(), &quick_stream(), 8.0, &[4]);
+    assert!(server[0].per_borrower_gib_s > pool[0].per_borrower_gib_s * 3.0);
+}
+
+#[test]
+fn topology_places_cost_on_the_shared_uplink() {
+    let tree = TreeConfig {
+        racks: 2,
+        ..TreeConfig::default()
+    };
+    let points = rack_topology(&TestbedConfig::tiny(), &quick_stream(), tree, 2);
+    let intra = points.iter().find(|p| p.placement == "intra-rack").unwrap();
+    let cross = points.iter().find(|p| p.placement == "cross-rack").unwrap();
+    assert!(cross.fg_latency_us > intra.fg_latency_us);
+}
+
+#[test]
+fn qos_migration_beats_all_remote_under_delay() {
+    let g = Graph500Config {
+        scale: 12,
+        edgefactor: 16,
+        roots: 1,
+        cores: 4,
+        ..Graph500Config::tiny()
+    };
+    let points = page_migration_study(&TestbedConfig::tiny(), &g, GraphKernel::Bfs, 400, 1 << 20);
+    assert_eq!(points.len(), 3);
+    assert!(points[1].speedup > 1.5, "{points:?}");
+    assert!(points[2].speedup >= points[1].speedup * 0.9);
+}
+
+#[test]
+fn placement_policies_match_in_the_borrowing_regime() {
+    let points = placement_study(&TestbedConfig::tiny(), &quick_stream(), 2, 4);
+    let borrowing: Vec<_> = points.iter().filter(|p| p.regime == "borrowing").collect();
+    assert_eq!(borrowing.len(), 2);
+    let gap = (borrowing[0].mean_borrower_gib_s - borrowing[1].mean_borrower_gib_s).abs()
+        / borrowing[0].mean_borrower_gib_s;
+    assert!(gap < 0.05, "{points:?}");
+}
+
+#[test]
+fn sensitivity_identifies_the_mshr_lever() {
+    let rows = tornado(&TestbedConfig::tiny(), &quick_stream());
+    assert_eq!(rows[0].knob, Knob::Mshr, "{rows:?}");
+}

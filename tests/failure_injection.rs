@@ -1,0 +1,103 @@
+//! Reliability-failure injection across the facade: link flaps, machine
+//! checks, and delay schedules that change mid-run.
+
+use thymesim::fabric::{Crash, DelaySpec};
+use thymesim::prelude::*;
+use thymesim::sim::{Dur, Time};
+
+#[test]
+fn brief_link_flap_is_survivable() {
+    let mut tb = Testbed::build(&TestbedConfig::tiny()).unwrap();
+    let t0 = tb.attach.ready_at;
+    tb.borrower
+        .remote_mut()
+        .outages
+        .add(t0 + Dur::us(50), t0 + Dur::us(550));
+    let a = tb.remote_arena.alloc(1 << 16, 128);
+    let mut t = t0;
+    for i in 0..256u64 {
+        t = tb.borrower.access(t, a.offset(i * 128), false);
+    }
+    assert!(tb.crash().is_none(), "a 0.5 ms flap must not checkstop");
+    // But the run visibly stretched across the outage.
+    assert!(t > t0 + Dur::us(550));
+    assert!(tb.borrower.remote().health.worst_latency >= Dur::us(400));
+}
+
+#[test]
+fn long_outage_machine_checks_the_core() {
+    let mut tb = Testbed::build(&TestbedConfig::tiny()).unwrap();
+    let t0 = tb.attach.ready_at;
+    // Longer than the 100 ms hung-load threshold.
+    tb.borrower
+        .remote_mut()
+        .outages
+        .add(t0 + Dur::us(10), t0 + Dur::us(10) + Dur::ms(150));
+    let a = tb.remote_arena.alloc(4096, 128);
+    let mut t = t0;
+    for i in 0..16u64 {
+        t = tb.borrower.access(t, a.offset(i * 128), false);
+    }
+    match tb.crash() {
+        Some(Crash::MachineCheck { latency, .. }) => {
+            assert!(latency > Dur::ms(100));
+        }
+        other => panic!("expected machine check, got {other:?}"),
+    }
+}
+
+#[test]
+fn piecewise_period_changes_latency_mid_run() {
+    // First half vanilla, second half PERIOD=200 — the §V "variation at
+    // short timescales" mode.
+    let switch_cycle = 250_000; // 1 ms at 250 MHz
+    let cfg =
+        TestbedConfig::tiny().with_delay(DelaySpec::Piecewise(vec![(0, 1), (switch_cycle, 200)]));
+    let mut tb = Testbed::build(&cfg).unwrap();
+    let a = tb.remote_arena.alloc(1 << 22, 128);
+    let t0 = tb.attach.ready_at;
+    assert!(
+        t0 < Time::ms(1),
+        "attach must complete in the vanilla phase"
+    );
+
+    // Dependent chain: each access issues after the previous completes.
+    let mut t = t0;
+    let mut early = Vec::new();
+    let mut late = Vec::new();
+    for i in 0..4096u64 {
+        let before = t;
+        t = tb.borrower.access(t, a.offset(i * 128), false);
+        let lat = t - before;
+        if before < Time::ms(1) {
+            early.push(lat);
+        } else if before > Time::ms(1) + Dur::us(100) {
+            late.push(lat);
+        }
+    }
+    assert!(!early.is_empty() && !late.is_empty());
+    let mean = |v: &[Dur]| v.iter().map(|d| d.as_ps()).sum::<u64>() as f64 / v.len() as f64;
+    // After the switch every isolated access pays ~PERIOD/2 extra cycles.
+    assert!(
+        mean(&late) > mean(&early) * 1.2,
+        "latency must jump after the schedule switch: {} vs {}",
+        mean(&late),
+        mean(&early)
+    );
+}
+
+#[test]
+fn runtime_delay_reconfiguration() {
+    let mut tb = Testbed::build(&TestbedConfig::tiny()).unwrap();
+    let a = tb.remote_arena.alloc(1 << 20, 128);
+    let t0 = tb.attach.ready_at;
+    let l1 = tb.borrower.access(t0, a, false) - t0;
+    tb.borrower.remote_mut().set_delay(DelaySpec::Period(1000));
+    let b = a.offset(1 << 19);
+    let t1 = Time::ms(10);
+    let l2 = tb.borrower.access(t1, b, false) - t1;
+    assert!(
+        l2 > l1,
+        "reprogrammed PERIOD must slow the next access: {l1} vs {l2}"
+    );
+}

@@ -1,0 +1,95 @@
+//! The paper's qualitative results, asserted end-to-end at test scale:
+//! every table/figure's *shape* — who wins, what is flat, what collapses,
+//! where the crossover sits — must hold in the reproduction.
+
+use thymesim::prelude::*;
+
+fn stream_cfg() -> StreamConfig {
+    let mut s = StreamConfig::tiny();
+    s.elements = 16_384;
+    s
+}
+
+/// Fig. 2: latency grows linearly in PERIOD with near-perfect correlation.
+#[test]
+fn fig2_latency_is_linear_in_period() {
+    let points = stream_delay_sweep(
+        &TestbedConfig::tiny(),
+        &stream_cfg(),
+        &[1, 10, 50, 100, 200, 300],
+    );
+    let v = validate_injection(&points);
+    assert!(v.fit_r > 0.999, "r = {}", v.fit_r);
+    for w in points.windows(2) {
+        assert!(w[1].latency_us >= w[0].latency_us);
+    }
+}
+
+/// Fig. 3: bandwidth collapses with PERIOD while the BDP stays constant.
+#[test]
+fn fig3_bdp_constant_bandwidth_falls() {
+    let points = stream_delay_sweep(
+        &TestbedConfig::tiny(),
+        &stream_cfg(),
+        &[10, 50, 100, 200, 300],
+    );
+    let v = validate_injection(&points);
+    assert!(v.bdp_cv < 0.1, "BDP CV {} too large", v.bdp_cv);
+    assert!(
+        points[0].bandwidth_gib_s / points.last().unwrap().bandwidth_gib_s > 10.0,
+        "bandwidth must collapse across the sweep"
+    );
+}
+
+/// Fig. 4: the system survives (with degradation) up to PERIOD=1000 and
+/// the FPGA is no longer detected at PERIOD=10000.
+#[test]
+fn fig4_crash_point_is_period_10000() {
+    let points = resilience_sweep(&TestbedConfig::tiny(), &stream_cfg(), &FIG4_PERIODS);
+    let survived: Vec<bool> = points.iter().map(|p| p.survived()).collect();
+    assert_eq!(survived, vec![true, true, true, true, false]);
+}
+
+/// Table I + Fig. 5 in one sweep: Redis ~flat, Graph500 catastrophic.
+#[test]
+fn table1_and_fig5_divergence() {
+    let rows = table1(&TestbedConfig::tiny(), &AppScale::tiny());
+    let redis = &rows[0];
+    let bfs = &rows[1];
+    // The headline insight: identical injection, wildly different impact.
+    assert!(redis.degradation_p1000 < 2.0);
+    assert!(bfs.degradation_p1000 > 50.0);
+    assert!(bfs.degradation_p1000 / redis.degradation_p1000 > 30.0);
+}
+
+/// Fig. 6: per-instance bandwidth divides ~equally by instance count.
+#[test]
+fn fig6_equal_division() {
+    let points = mcbn(&TestbedConfig::tiny(), &stream_cfg(), &[1, 4]);
+    let ratio = points[0].per_instance_gib_s / points[1].per_instance_gib_s;
+    assert!(
+        (3.0..5.0).contains(&ratio),
+        "4 instances should each get ~1/4: ratio {ratio}"
+    );
+}
+
+/// Fig. 7: borrower bandwidth is ~independent of lender-side load.
+#[test]
+fn fig7_borrower_flat_under_lender_load() {
+    let points = mcln(&TestbedConfig::tiny(), &stream_cfg(), &[0, 4]);
+    let drop = 1.0 - points[1].borrower_gib_s / points[0].borrower_gib_s;
+    assert!(drop < 0.10, "borrower lost {:.1}%", drop * 100.0);
+}
+
+/// §III-B: the injected range tops out near the 90th percentile of the
+/// datacenter envelope, and PERIOD=10000's ~4 ms is far beyond the 99th.
+#[test]
+fn injected_range_matches_datacenter_percentiles() {
+    use thymesim::net::LatencyProfile;
+    use thymesim::sim::Dur;
+    let points = stream_delay_sweep(&TestbedConfig::tiny(), &stream_cfg(), &[1, 300]);
+    let profile = LatencyProfile::intra_datacenter();
+    let hi = Dur::from_ns_f64(points[1].latency_us * 1000.0);
+    assert!(profile.percentile_of(hi) <= 0.95);
+    assert!(profile.percentile_of(Dur::ms(4)) > 0.999);
+}

@@ -1,0 +1,108 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! configurations, checked through the public facade at small scale.
+
+use proptest::prelude::*;
+use thymesim::prelude::*;
+use thymesim::sim::Time;
+
+fn stream_cfg(elements: u64) -> StreamConfig {
+    let mut s = StreamConfig::tiny();
+    s.elements = elements;
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// More injected delay never speeds STREAM up, for arbitrary PERIOD
+    /// pairs, and results stay correct.
+    #[test]
+    fn prop_latency_monotone_in_period(p1 in 1u64..150, dp in 1u64..150) {
+        let p2 = p1 + dp;
+        let cfg = stream_cfg(4096);
+        let a = run_stream_on_testbed(&TestbedConfig::tiny().with_period(p1), &cfg);
+        let b = run_stream_on_testbed(&TestbedConfig::tiny().with_period(p2), &cfg);
+        prop_assert!(a.verified && b.verified);
+        prop_assert!(
+            b.miss_latency_mean >= a.miss_latency_mean,
+            "PERIOD {} -> {} lowered latency {} -> {}",
+            p1, p2, a.miss_latency_mean, b.miss_latency_mean
+        );
+        prop_assert!(b.elapsed >= a.elapsed);
+    }
+
+    /// STREAM computes correct results for arbitrary sizes and scalars,
+    /// remote or local.
+    #[test]
+    fn prop_stream_correct_for_any_shape(
+        elements in 64u64..5000,
+        ntimes in 1u32..3,
+        scalar in 0.5f64..4.0,
+        remote in any::<bool>(),
+    ) {
+        let mut cfg = stream_cfg(elements);
+        cfg.ntimes = ntimes;
+        cfg.scalar = scalar;
+        let mut tb = Testbed::build(&TestbedConfig::tiny()).unwrap();
+        let placement = if remote { Placement::Remote } else { Placement::Local };
+        let report = run_stream(&mut tb, &cfg, placement);
+        prop_assert!(report.verified, "wrong data for {elements} x{ntimes} s={scalar}");
+    }
+
+    /// The MCBN division law: per-instance bandwidth ≈ solo/N for any N.
+    /// (Arrays must thrash the LLC even solo, or the solo baseline runs
+    /// out of cache instead of the network.)
+    #[test]
+    fn prop_mcbn_division(n in 2usize..6) {
+        let cfg = stream_cfg(16_384);
+        let points = mcbn(&TestbedConfig::tiny(), &cfg, &[1, n]);
+        let expected = points[0].per_instance_gib_s / n as f64;
+        let got = points[1].per_instance_gib_s;
+        let err = (got - expected).abs() / expected;
+        prop_assert!(err < 0.35, "N={n}: got {got}, expected {expected}");
+    }
+
+    /// Fetch completions through one engine are FIFO (the wire and gate
+    /// preserve order) for arbitrary issue gaps and PERIOD.
+    #[test]
+    fn prop_engine_completions_are_fifo(
+        period in 1u64..500,
+        gaps in proptest::collection::vec(0u64..2_000, 1..80),
+    ) {
+        use thymesim::mem::RemoteBackend;
+        use thymesim::sim::{Dur, Time};
+        let cfg = TestbedConfig::tiny().with_period(period);
+        let mut tb = Testbed::build(&cfg).unwrap();
+        let base = tb.remote_arena.alloc(1 << 20, 128);
+        let engine = tb.borrower.remote_mut();
+        let mut t = tb.attach.ready_at;
+        let mut prev_done = Time::ZERO;
+        for (i, g) in gaps.iter().enumerate() {
+            t = t + Dur::ns(*g);
+            let done = engine.fetch_line(t, base.offset((i as u64 % 4096) * 128));
+            prop_assert!(done >= prev_done, "completions reordered");
+            prop_assert!(done > t, "completion before issue");
+            // Never faster than the un-gated physical path.
+            prop_assert!(done - t >= Dur::ns(800), "impossibly fast fetch");
+            prev_done = done;
+        }
+    }
+
+    /// Attach either succeeds before the discovery budget or fails with a
+    /// timeout — never hangs, never reports success late.
+    #[test]
+    fn prop_attach_respects_budget(period in 1u64..20_000) {
+        let cfg = TestbedConfig::tiny().with_period(period);
+        match Testbed::build(&cfg) {
+            Ok(tb) => {
+                let budget = cfg.control.discovery_timeout;
+                prop_assert!(tb.attach.discovery_time <= budget);
+                prop_assert!(tb.attach.ready_at > Time::ZERO);
+            }
+            Err(thymesim::fabric::AttachError::DiscoveryTimeout { elapsed, budget }) => {
+                prop_assert!(elapsed > budget);
+            }
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+}
