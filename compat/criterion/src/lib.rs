@@ -1,0 +1,257 @@
+//! Offline stand-in for the slice of the `criterion` API the benches
+//! in `crates/bench/benches/` use. It measures mean wall-clock per
+//! iteration and prints one line per benchmark — no statistics engine,
+//! no HTML reports. `cargo bench -- --test` runs every routine exactly
+//! once, which is what the CI bench-smoke job gates on.
+
+use std::time::{Duration, Instant};
+
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    #[allow(dead_code)]
+    warm_up_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        // Harness arguments arrive after the binary name; `--bench` is
+        // what cargo itself appends, everything else unknown is treated
+        // as a name filter (matching criterion's CLI loosely).
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--nocapture" | "--quiet" | "--verbose" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self, None, id, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    fn skips(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => !full_name.contains(f.as_str()),
+            None => false,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let group = self.name.clone();
+        let samples = self.sample_size;
+        run_one(self.criterion, Some((&group, samples)), id, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    /// In test mode every routine body runs exactly once.
+    test_mode: bool,
+    samples: usize,
+    /// Stop sampling early once this much time has been measured.
+    budget: Duration,
+    /// (total duration, total iterations) accumulated by iter calls.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            return;
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+            iters += 1;
+            if start.elapsed() > self.budget {
+                break;
+            }
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+            if total > self.budget {
+                break;
+            }
+        }
+        self.measured = Some((total, iters));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    c: &mut Criterion,
+    group: Option<(&str, Option<usize>)>,
+    id: &str,
+    mut f: F,
+) {
+    let full_name = match group {
+        Some((g, _)) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if c.skips(&full_name) {
+        return;
+    }
+    let samples = group.and_then(|(_, s)| s).unwrap_or(c.sample_size).max(1);
+    let mut b = Bencher {
+        test_mode: c.test_mode,
+        samples,
+        budget: c.measurement_time,
+        measured: None,
+    };
+    f(&mut b);
+    if c.test_mode {
+        println!("test {full_name} ... ok");
+        return;
+    }
+    match b.measured {
+        Some((total, iters)) if iters > 0 => {
+            let per_iter = total.as_nanos() as f64 / iters as f64;
+            println!("{full_name}: {:.1} ns/iter ({iters} iters)", per_iter);
+        }
+        _ => println!("{full_name}: no measurement recorded"),
+    }
+}
+
+/// Mirrors criterion's macro: either the `name/config/targets` form or
+/// the positional form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_functions_run() {
+        let mut c = Criterion {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(10),
+            warm_up_time: Duration::ZERO,
+            test_mode: false,
+            filter: None,
+        };
+        let mut runs = 0;
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(10));
+        g.sample_size(2);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 5u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+        runs += 1;
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,441 @@
+//! Derive macros for the offline `serde` subset, written directly
+//! against `proc_macro` (no `syn`/`quote` — the build has no network
+//! access, so those can't be fetched either).
+//!
+//! Supported input shapes — exactly what this workspace declares:
+//! named structs (with `#[serde(skip)]` fields), tuple/newtype structs,
+//! unit structs, and enums whose variants are unit, tuple, or struct
+//! shaped. Generic types are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- model
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+// --------------------------------------------------------------- parser
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Consume any leading `#[...]` attributes; report whether one of
+    /// them was `#[serde(skip)]` (or `skip_serializing`/`skip_deserializing`).
+    fn skip_attrs(&mut self) -> bool {
+        let mut skip = false;
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    if attr_is_serde_skip(g.stream()) {
+                        skip = true;
+                    }
+                }
+                other => panic!("expected attribute body after `#`, got {other:?}"),
+            }
+        }
+        skip
+    }
+
+    /// Consume `pub` / `pub(...)` if present.
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Skip tokens up to (not including) a `,` at angle-bracket depth 0,
+    /// or to the end of the stream. Used to step over field types.
+    fn skip_to_comma(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn attr_is_serde_skip(body: TokenStream) -> bool {
+    let mut it = body.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string().starts_with("skip"))),
+        _ => false,
+    }
+}
+
+fn parse(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_visibility();
+    let keyword = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize): generic type `{name}` is not supported");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            other => panic!("unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body for `{name}`: {other:?}"),
+        },
+        kw => panic!("derive(Serialize/Deserialize) on unsupported item `{kw}`"),
+    };
+    Item { name, kind }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let skip = c.skip_attrs();
+        c.skip_visibility();
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        c.skip_to_comma();
+        c.next(); // the comma itself, if present
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    if c.at_end() {
+        return 0;
+    }
+    let mut n = 1;
+    loop {
+        c.skip_attrs();
+        c.skip_visibility();
+        c.skip_to_comma();
+        if c.next().is_none() {
+            return n;
+        }
+        if c.at_end() {
+            return n; // trailing comma
+        }
+        n += 1;
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs();
+        let name = c.expect_ident("variant name");
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                c.next();
+                VariantFields::Named(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                VariantFields::Tuple(n)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            c.next();
+            c.skip_to_comma();
+        }
+        c.next(); // the comma, if present
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// -------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let mut s = String::from(
+                "let mut __o: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "__o.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__o)");
+            s
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+                elems.join(", ")
+            )
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantFields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Object(::std::vec::Vec::from([(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(__f0))])),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(::std::vec::Vec::from([(::std::string::String::from(\"{vn}\"), ::serde::Value::Array(::std::vec::Vec::from([{}])))])),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut __o: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "__o.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        for f in fields.iter().filter(|f| f.skip) {
+                            inner.push_str(&format!("let _ = {};\n", f.name));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n{inner}::serde::Value::Object(::std::vec::Vec::from([(::std::string::String::from(\"{vn}\"), ::serde::Value::Object(__o))]))\n}},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n{body}\n    }}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: ::serde::__private::field(__o, \"{0}\")?,\n",
+                        f.name
+                    ));
+                }
+            }
+            format!(
+                "let __o = __v.as_object().ok_or_else(|| ::serde::Error::msg(\"{name}: expected object\"))?;\n::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Kind::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| ::serde::Error::msg(\"{name}: expected array\"))?;\nif __a.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::msg(\"{name}: wrong tuple length\")); }}\n::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Kind::Unit => format!("let _ = __v;\n::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{0}\" => return ::std::result::Result::Ok({name}::{0}),\n",
+                        v.name
+                    )
+                })
+                .collect();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {}
+                    VariantFields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\nlet __a = __inner.as_array().ok_or_else(|| ::serde::Error::msg(\"{name}::{vn}: expected array\"))?;\nif __a.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::msg(\"{name}::{vn}: wrong arity\")); }}\nreturn ::std::result::Result::Ok({name}::{vn}({}));\n}}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::core::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{0}: ::serde::__private::field(__io, \"{0}\")?,\n",
+                                    f.name
+                                ));
+                            }
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\nlet __io = __inner.as_object().ok_or_else(|| ::serde::Error::msg(\"{name}::{vn}: expected object\"))?;\nreturn ::std::result::Result::Ok({name}::{vn} {{\n{inits}}});\n}}\n"
+                        ));
+                    }
+                }
+            }
+            let mut s = String::new();
+            if !unit_arms.is_empty() {
+                s.push_str(&format!(
+                    "if let ::serde::Value::Str(__s) = __v {{\n    match __s.as_str() {{\n{unit_arms}        _ => {{}}\n    }}\n}}\n"
+                ));
+            }
+            if !data_arms.is_empty() {
+                s.push_str(&format!(
+                    "if let ::std::option::Option::Some(__o) = __v.as_object() {{\n    if __o.len() == 1 {{\n        let (__k, __inner) = &__o[0];\n        match __k.as_str() {{\n{data_arms}            _ => {{}}\n        }}\n    }}\n}}\n"
+                ));
+            }
+            s.push_str(&format!(
+                "::std::result::Result::Err(::serde::Error::msg(\"{name}: no matching variant\"))"
+            ));
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n    fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n    }}\n}}\n"
+    )
+}

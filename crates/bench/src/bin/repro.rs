@@ -13,15 +13,23 @@
 //! together so every workload stays memory-bound):
 //! `quick` ≈ seconds, `medium` (default) ≈ a few minutes, `paper` uses
 //! the paper's sizes (10 M-element STREAM, scale-20 Graph500).
+//!
+//! Execution flags (see `thymesim_core::sweep`):
+//! * `--jobs N` — worker threads per sweep (default: all cores;
+//!   `--jobs 1` runs serially and produces byte-identical output).
+//! * `--no-cache` — disable the per-point memoization cache (default:
+//!   `<out>/cache`, or `results/cache` without `--out`).
 
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::time::Instant;
 use thymesim_bench::{profile_from_args, Profile};
 use thymesim_core::experiments::{
     ablate, apps, beyond, contention, dist, placement, qos, resilience, sensitivity, validate,
 };
 use thymesim_core::report;
 use thymesim_core::runners::GraphKernel;
+use thymesim_core::sweep::{self, SweepOptions};
 use thymesim_net::LinkConfig;
 use thymesim_sim::Dur;
 
@@ -33,23 +41,46 @@ fn main() {
         std::fs::create_dir_all(&dir).expect("create --out directory");
         OUT_DIR.set(dir).ok();
     }
-    eprintln!("# profile: {} ({})", profile.name, profile.describe());
 
+    let jobs = jobs_from_args(&args).unwrap_or_else(thymesim_sim::default_jobs);
+    let cache = if args.iter().any(|a| a == "--no-cache") {
+        None
+    } else {
+        let base = OUT_DIR
+            .get()
+            .cloned()
+            .unwrap_or_else(|| PathBuf::from("results"));
+        Some(base.join("cache"))
+    };
+    eprintln!("# profile: {} ({})", profile.name, profile.describe());
+    eprintln!(
+        "# jobs: {jobs}, cache: {}",
+        cache
+            .as_deref()
+            .map_or("disabled".into(), |p| p.display().to_string())
+    );
+    sweep::configure(SweepOptions {
+        jobs,
+        cache,
+        progress: true,
+    });
+
+    let started = Instant::now();
     match cmd {
-        "validate" | "fig2" | "fig3" => run_validate(&profile),
-        "fig4" => run_fig4(&profile),
-        "table1" => run_table1(&profile),
-        "fig5" => run_fig5(&profile),
-        "fig6" => run_fig6(&profile),
-        "fig7" => run_fig7(&profile),
-        "dist" => run_dist(&profile),
-        "ablate" => run_ablate(&profile),
-        "congestion" => run_congestion(&profile),
-        "topology" => run_topology(&profile),
-        "pooling" => run_pooling(&profile),
-        "qos" => run_qos(&profile),
-        "sensitivity" => run_sensitivity(&profile),
-        "placement" => run_placement(&profile),
+        "validate" | "fig2" | "fig3" => timed("validate", || run_validate(&profile)),
+        "fig4" => timed("fig4", || run_fig4(&profile)),
+        "table1" => timed("table1", || run_table1(&profile)),
+        "fig5" => timed("fig5", || run_fig5(&profile)),
+        "fig6" => timed("fig6", || run_fig6(&profile)),
+        "fig7" => timed("fig7", || run_fig7(&profile)),
+        "dist" => timed("dist", || run_dist(&profile)),
+        "ablate" => timed("ablate", || run_ablate(&profile)),
+        "congestion" => timed("congestion", || run_congestion(&profile)),
+        "topology" => timed("topology", || run_topology(&profile)),
+        "pooling" => timed("pooling", || run_pooling(&profile)),
+        "qos" => timed("qos", || run_qos(&profile)),
+        "sensitivity" => timed("sensitivity", || run_sensitivity(&profile)),
+        "placement" => timed("placement", || run_placement(&profile)),
         "list" => {
             println!("experiment  paper artifact / extension");
             println!("validate    Fig 2 + Fig 3 + §III-B checks");
@@ -69,20 +100,20 @@ fn main() {
             println!("all         everything above");
         }
         "all" => {
-            run_validate(&profile);
-            run_fig4(&profile);
-            run_table1(&profile);
-            run_fig5(&profile);
-            run_fig6(&profile);
-            run_fig7(&profile);
-            run_dist(&profile);
-            run_ablate(&profile);
-            run_congestion(&profile);
-            run_topology(&profile);
-            run_pooling(&profile);
-            run_qos(&profile);
-            run_sensitivity(&profile);
-            run_placement(&profile);
+            timed("validate", || run_validate(&profile));
+            timed("fig4", || run_fig4(&profile));
+            timed("table1", || run_table1(&profile));
+            timed("fig5", || run_fig5(&profile));
+            timed("fig6", || run_fig6(&profile));
+            timed("fig7", || run_fig7(&profile));
+            timed("dist", || run_dist(&profile));
+            timed("ablate", || run_ablate(&profile));
+            timed("congestion", || run_congestion(&profile));
+            timed("topology", || run_topology(&profile));
+            timed("pooling", || run_pooling(&profile));
+            timed("qos", || run_qos(&profile));
+            timed("sensitivity", || run_sensitivity(&profile));
+            timed("placement", || run_placement(&profile));
         }
         other => {
             eprintln!(
@@ -92,9 +123,45 @@ fn main() {
             std::process::exit(2);
         }
     }
+    if cmd != "list" {
+        eprintln!(
+            "# total: {:.2?} wall-clock ({} points simulated)",
+            started.elapsed(),
+            sweep::simulated_point_count()
+        );
+    }
 }
 
 static OUT_DIR: std::sync::OnceLock<PathBuf> = std::sync::OnceLock::new();
+
+/// Time one experiment and report its wall-clock on stderr.
+fn timed(label: &str, f: impl FnOnce()) {
+    let t = Instant::now();
+    f();
+    eprintln!("# {label}: {:.2?} wall-clock", t.elapsed());
+}
+
+/// Parse `--jobs N` / `--jobs=N`.
+fn jobs_from_args(args: &[String]) -> Option<usize> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let v = if a == "--jobs" {
+            it.next().cloned()
+        } else {
+            a.strip_prefix("--jobs=").map(str::to_string)
+        };
+        if let Some(v) = v {
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => return Some(n),
+                _ => {
+                    eprintln!("--jobs expects a positive integer, got '{v}'");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
 
 /// Parse `--out <dir>`: also write each experiment's JSON there.
 fn out_dir(args: &[String]) -> Option<PathBuf> {
@@ -238,7 +305,12 @@ fn run_pooling(p: &Profile) {
     banner("E12 — §V memory pooling: bottleneck shifts from network to pool");
     let mut all = Vec::new();
     for pool_gb_s in [140.0, 25.0, 8.0] {
-        all.extend(beyond::pooling_sweep(&p.testbed, &p.stream, pool_gb_s, &[1, 2, 4, 8]));
+        all.extend(beyond::pooling_sweep(
+            &p.testbed,
+            &p.stream,
+            pool_gb_s,
+            &[1, 2, 4, 8],
+        ));
     }
     save_json("pooling", &all);
     print!("{}", report::pooling_csv(&all));

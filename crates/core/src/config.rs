@@ -4,7 +4,7 @@ use thymesim_fabric::{ControlConfig, DelaySpec, FabricConfig};
 use thymesim_mem::{CacheConfig, DramConfig, SysTiming};
 
 /// One node's memory-subsystem configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, serde::Serialize)]
 pub struct NodeConfig {
     pub cache: CacheConfig,
     pub dram: DramConfig,
@@ -32,7 +32,7 @@ impl NodeConfig {
 }
 
 /// The two-node testbed configuration (borrower + lender + fabric).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct TestbedConfig {
     pub borrower: NodeConfig,
     pub lender: NodeConfig,

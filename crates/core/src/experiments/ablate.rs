@@ -14,14 +14,14 @@
 
 use crate::config::TestbedConfig;
 use crate::runners::{kv_local_baseline, run_kv, run_stream, Placement};
+use crate::sweep;
 use crate::testbed::Testbed;
-use rayon::prelude::*;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use thymesim_workloads::kv::KvConfig;
 use thymesim_workloads::stream::StreamConfig;
 
 /// One window-sweep point.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct WindowPoint {
     pub window: usize,
     pub latency_us: f64,
@@ -36,33 +36,46 @@ pub fn window_sweep(
     period: u64,
     windows: &[usize],
 ) -> Vec<WindowPoint> {
-    let mut points: Vec<WindowPoint> = windows
-        .par_iter()
+    #[derive(Clone, Debug, Serialize)]
+    struct Point {
+        window: usize,
+        cfg: TestbedConfig,
+        stream: StreamConfig,
+    }
+    let grid: Vec<Point> = windows
+        .iter()
         .map(|&window| {
             let mut cfg = base.clone().with_period(period);
             cfg.fabric.window = window;
             let mut s = *stream;
             // The issuing side exactly fills the window under test.
             s.mlp = window;
-            let mut tb = Testbed::build(&cfg).expect("ablation attach");
-            let report = run_stream(&mut tb, &s, Placement::Remote);
-            let reads = tb.borrower.remote().stats.reads;
-            let line = cfg.fabric.line_bytes;
-            let consumed = reads as f64 * line as f64 / report.elapsed.as_secs_f64();
-            WindowPoint {
+            Point {
                 window,
-                latency_us: report.miss_latency_mean.as_us_f64(),
-                bandwidth_gib_s: report.best_bandwidth_gib_s(),
-                bdp_kib: consumed * report.miss_latency_mean.as_secs_f64() / 1024.0,
+                cfg,
+                stream: s,
             }
         })
         .collect();
+    let mut points = sweep::run("ablate/window", &grid, |_ctx, pt| {
+        let mut tb = Testbed::build(&pt.cfg).expect("ablation attach");
+        let report = run_stream(&mut tb, &pt.stream, Placement::Remote);
+        let reads = tb.borrower.remote().stats.reads;
+        let line = pt.cfg.fabric.line_bytes;
+        let consumed = reads as f64 * line as f64 / report.elapsed.as_secs_f64();
+        WindowPoint {
+            window: pt.window,
+            latency_us: report.miss_latency_mean.as_us_f64(),
+            bandwidth_gib_s: report.best_bandwidth_gib_s(),
+            bdp_kib: consumed * report.miss_latency_mean.as_secs_f64() / 1024.0,
+        }
+    });
     points.sort_by_key(|p| p.window);
     points
 }
 
 /// Write-back gating ablation result.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct WbGatingPoint {
     pub gate_writebacks: bool,
     pub latency_us: f64,
@@ -71,24 +84,37 @@ pub struct WbGatingPoint {
 
 /// Compare full egress gating (hardware) vs read-only gating.
 pub fn wb_gating(base: &TestbedConfig, stream: &StreamConfig, period: u64) -> Vec<WbGatingPoint> {
-    [true, false]
+    #[derive(Clone, Debug, Serialize)]
+    struct Point {
+        gate_writebacks: bool,
+        cfg: TestbedConfig,
+        stream: StreamConfig,
+    }
+    let grid: Vec<Point> = [true, false]
         .iter()
         .map(|&gate_writebacks| {
             let mut cfg = base.clone().with_period(period);
             cfg.fabric.gate_writebacks = gate_writebacks;
-            let mut tb = Testbed::build(&cfg).expect("ablation attach");
-            let report = run_stream(&mut tb, stream, Placement::Remote);
-            WbGatingPoint {
+            Point {
                 gate_writebacks,
-                latency_us: report.miss_latency_mean.as_us_f64(),
-                elapsed_ms: report.elapsed.as_ms_f64(),
+                cfg,
+                stream: *stream,
             }
         })
-        .collect()
+        .collect();
+    sweep::run("ablate/wb-gating", &grid, |_ctx, pt| {
+        let mut tb = Testbed::build(&pt.cfg).expect("ablation attach");
+        let report = run_stream(&mut tb, &pt.stream, Placement::Remote);
+        WbGatingPoint {
+            gate_writebacks: pt.gate_writebacks,
+            latency_us: report.miss_latency_mean.as_us_f64(),
+            elapsed_ms: report.elapsed.as_ms_f64(),
+        }
+    })
 }
 
 /// KV pipelining ablation point.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct KvPipelinePoint {
     pub pipeline_depth: u32,
     /// Degradation at the probed PERIOD vs local memory.
@@ -102,23 +128,30 @@ pub fn kv_pipelining(
     period: u64,
     depths: &[u32],
 ) -> Vec<KvPipelinePoint> {
-    depths
-        .par_iter()
-        .map(|&pipeline_depth| {
-            let cfg = KvConfig {
+    #[derive(Clone, Debug, Serialize)]
+    struct Point {
+        cfg: TestbedConfig,
+        kv: KvConfig,
+    }
+    let grid: Vec<Point> = depths
+        .iter()
+        .map(|&pipeline_depth| Point {
+            cfg: base.clone().with_period(period),
+            kv: KvConfig {
                 pipeline_depth,
                 ..*kv
-            };
-            let local = kv_local_baseline(&base.borrower, &cfg);
-            let tb_cfg = base.clone().with_period(period);
-            let mut tb = Testbed::build(&tb_cfg).expect("kv ablation attach");
-            let remote = run_kv(&mut tb, &cfg, Placement::Remote);
-            KvPipelinePoint {
-                pipeline_depth,
-                degradation: local.ops_per_sec / remote.ops_per_sec,
-            }
+            },
         })
-        .collect()
+        .collect();
+    sweep::run("ablate/kv-pipelining", &grid, |_ctx, pt| {
+        let local = kv_local_baseline(&pt.cfg.borrower, &pt.kv);
+        let mut tb = Testbed::build(&pt.cfg).expect("kv ablation attach");
+        let remote = run_kv(&mut tb, &pt.kv, Placement::Remote);
+        KvPipelinePoint {
+            pipeline_depth: pt.kv.pipeline_depth,
+            degradation: local.ops_per_sec / remote.ops_per_sec,
+        }
+    })
 }
 
 #[cfg(test)]

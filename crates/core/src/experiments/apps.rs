@@ -14,8 +14,8 @@ use crate::config::TestbedConfig;
 use crate::runners::{
     graph500_local_baseline, kv_local_baseline, run_graph500, run_kv, GraphKernel, Placement,
 };
+use crate::sweep;
 use crate::testbed::Testbed;
-use rayon::prelude::*;
 use serde::Serialize;
 use thymesim_workloads::graph500::Graph500Config;
 use thymesim_workloads::kv::KvConfig;
@@ -75,6 +75,61 @@ fn time_ratio(delayed_s: f64, baseline_s: f64) -> f64 {
     delayed_s / baseline_s
 }
 
+/// The workload one application cell runs.
+#[derive(Clone, Debug, Serialize)]
+enum AppWork {
+    Kv(KvConfig),
+    Graph(Graph500Config, GraphKernel),
+}
+
+/// One (application, PERIOD) cell of an application experiment.
+#[derive(Clone, Debug, Serialize)]
+struct AppPoint {
+    app: String,
+    period: u64,
+    cfg: TestbedConfig,
+    work: AppWork,
+}
+
+/// Grid for `periods × {Redis, BFS, SSSP}`, apps innermost.
+fn app_grid(
+    base: &TestbedConfig,
+    kv: &KvConfig,
+    graph: &Graph500Config,
+    periods: &[u64],
+) -> Vec<AppPoint> {
+    let mut grid = Vec::with_capacity(periods.len() * 3);
+    for &period in periods {
+        let cfg = base.clone().with_period(period);
+        grid.push(AppPoint {
+            app: "Redis".into(),
+            period,
+            cfg: cfg.clone(),
+            work: AppWork::Kv(*kv),
+        });
+        for kernel in [GraphKernel::Bfs, GraphKernel::Sssp] {
+            grid.push(AppPoint {
+                app: format!("Graph500 {kernel:?}"),
+                period,
+                cfg: cfg.clone(),
+                work: AppWork::Graph(*graph, kernel),
+            });
+        }
+    }
+    grid
+}
+
+/// Run one cell remote; the metric is ops/s for KV, seconds for graphs.
+fn run_cell(pt: &AppPoint) -> f64 {
+    let mut tb = Testbed::build(&pt.cfg).expect("app periods attach");
+    match &pt.work {
+        AppWork::Kv(kv) => run_kv(&mut tb, kv, Placement::Remote).ops_per_sec,
+        AppWork::Graph(g, kernel) => run_graph500(&mut tb, g, *kernel, Placement::Remote, false)
+            .total_time
+            .as_secs_f64(),
+    }
+}
+
 /// Run the full Table I experiment.
 pub fn table1(base: &TestbedConfig, scale: &AppScale) -> Vec<Table1Row> {
     // Local baselines (no fabric).
@@ -84,60 +139,28 @@ pub fn table1(base: &TestbedConfig, scale: &AppScale) -> Vec<Table1Row> {
     let sssp_local =
         graph500_local_baseline(&base.borrower, &scale.graph_parallel, GraphKernel::Sssp);
 
-    let run_at = |period: u64| {
-        let cfg = base.clone().with_period(period);
-        let mut tb = Testbed::build(&cfg).expect("Table I periods attach");
-        let kv = run_kv(&mut tb, &scale.kv, Placement::Remote);
-        let mut tb2 = Testbed::build(&cfg).unwrap();
-        let bfs = run_graph500(
-            &mut tb2,
-            &scale.graph_parallel,
-            GraphKernel::Bfs,
-            Placement::Remote,
-            false,
-        );
-        let mut tb3 = Testbed::build(&cfg).unwrap();
-        let sssp = run_graph500(
-            &mut tb3,
-            &scale.graph_parallel,
-            GraphKernel::Sssp,
-            Placement::Remote,
-            false,
-        );
-        (kv, bfs, sssp)
-    };
-
-    let ((kv1, bfs1, sssp1), (kv1000, bfs1000, sssp1000)) =
-        rayon::join(|| run_at(1), || run_at(1000));
+    // Six independent cells: {1, 1000} × {Redis, BFS, SSSP}.
+    let grid = app_grid(base, &scale.kv, &scale.graph_parallel, &[1, 1000]);
+    let cells = sweep::run("apps/table1", &grid, |_ctx, pt| run_cell(pt));
+    let (kv1, bfs1, sssp1) = (cells[0], cells[1], cells[2]);
+    let (kv1000, bfs1000, sssp1000) = (cells[3], cells[4], cells[5]);
 
     vec![
         Table1Row {
             app: "Redis".into(),
             // Redis's metric is throughput: degradation = local/delayed.
-            degradation_p1: kv_local.ops_per_sec / kv1.ops_per_sec,
-            degradation_p1000: kv_local.ops_per_sec / kv1000.ops_per_sec,
+            degradation_p1: kv_local.ops_per_sec / kv1,
+            degradation_p1000: kv_local.ops_per_sec / kv1000,
         },
         Table1Row {
             app: "Graph500 BFS".into(),
-            degradation_p1: time_ratio(
-                bfs1.total_time.as_secs_f64(),
-                bfs_local.total_time.as_secs_f64(),
-            ),
-            degradation_p1000: time_ratio(
-                bfs1000.total_time.as_secs_f64(),
-                bfs_local.total_time.as_secs_f64(),
-            ),
+            degradation_p1: time_ratio(bfs1, bfs_local.total_time.as_secs_f64()),
+            degradation_p1000: time_ratio(bfs1000, bfs_local.total_time.as_secs_f64()),
         },
         Table1Row {
             app: "Graph500 SSSP".into(),
-            degradation_p1: time_ratio(
-                sssp1.total_time.as_secs_f64(),
-                sssp_local.total_time.as_secs_f64(),
-            ),
-            degradation_p1000: time_ratio(
-                sssp1000.total_time.as_secs_f64(),
-                sssp_local.total_time.as_secs_f64(),
-            ),
+            degradation_p1: time_ratio(sssp1, sssp_local.total_time.as_secs_f64()),
+            degradation_p1000: time_ratio(sssp1000, sssp_local.total_time.as_secs_f64()),
         },
     ]
 }
@@ -156,35 +179,15 @@ pub struct Fig5Point {
 
 /// Run the Fig. 5 sweep.
 pub fn fig5(base: &TestbedConfig, scale: &AppScale, periods: &[u64]) -> Vec<Fig5Point> {
+    // Raw metrics per (period, app) cell; normalization to the vanilla
+    // remote baseline happens after collection so the cached unit stays
+    // one independent simulation.
+    let grid = app_grid(base, &scale.kv, &scale.graph_reference, periods);
+    let cells = sweep::run("apps/fig5", &grid, |_ctx, pt| run_cell(pt));
     let raw: Vec<(u64, f64, f64, f64)> = periods
-        .par_iter()
-        .map(|&period| {
-            let cfg = base.clone().with_period(period);
-            let mut tb = Testbed::build(&cfg).expect("Fig 5 periods attach");
-            let kv = run_kv(&mut tb, &scale.kv, Placement::Remote);
-            let mut tb2 = Testbed::build(&cfg).unwrap();
-            let bfs = run_graph500(
-                &mut tb2,
-                &scale.graph_reference,
-                GraphKernel::Bfs,
-                Placement::Remote,
-                false,
-            );
-            let mut tb3 = Testbed::build(&cfg).unwrap();
-            let sssp = run_graph500(
-                &mut tb3,
-                &scale.graph_reference,
-                GraphKernel::Sssp,
-                Placement::Remote,
-                false,
-            );
-            (
-                period,
-                kv.ops_per_sec,
-                bfs.total_time.as_secs_f64(),
-                sssp.total_time.as_secs_f64(),
-            )
-        })
+        .iter()
+        .enumerate()
+        .map(|(i, &period)| (period, cells[3 * i], cells[3 * i + 1], cells[3 * i + 2]))
         .collect();
 
     let baseline = raw

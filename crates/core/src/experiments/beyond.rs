@@ -17,8 +17,9 @@
 //!   pool-class device they collapse together.
 
 use crate::config::TestbedConfig;
+use crate::sweep;
 use crate::testbed::Testbed;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use thymesim_fabric::{shared_link, SharedLink};
 use thymesim_mem::{shared_dram, DramConfig, SharedDram};
 use thymesim_net::{LinkConfig, TreeConfig, TreeTopology};
@@ -76,7 +77,7 @@ fn run_pairs(mut pairs: MultiPair, stream: &StreamConfig) -> (MultiPair, Vec<Str
 // ---------------------------------------------------------------------------
 
 /// One congestion-sweep point.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CongestionPoint {
     /// Total pairs sharing the fabric segment (1 = uncongested).
     pub pairs: usize,
@@ -110,21 +111,34 @@ pub fn congestion_sweep(
     uplink: LinkConfig,
     counts: &[usize],
 ) -> Vec<CongestionPoint> {
-    counts
+    #[derive(Clone, Debug, Serialize)]
+    struct Point {
+        pairs: usize,
+        uplink: LinkConfig,
+        cfg: TestbedConfig,
+        stream: StreamConfig,
+    }
+    let grid: Vec<Point> = counts
         .iter()
-        .map(|&n| {
-            let pairs = build_congested_pairs(base, uplink, n);
-            let (pairs, procs) = run_pairs(pairs, stream);
-            let fg = &pairs.testbeds[0];
-            let lat = &fg.borrower.remote().stats.read_latency;
-            CongestionPoint {
-                pairs: n,
-                fg_latency_us: lat.mean() / 1e6,
-                fg_p99_us: lat.p99() as f64 / 1e6,
-                fg_bandwidth_gib_s: procs[0].mean_bandwidth_gib_s(),
-            }
+        .map(|&pairs| Point {
+            pairs,
+            uplink,
+            cfg: base.clone(),
+            stream: *stream,
         })
-        .collect()
+        .collect();
+    sweep::run("beyond/congestion", &grid, |_ctx, pt| {
+        let pairs = build_congested_pairs(&pt.cfg, pt.uplink, pt.pairs);
+        let (pairs, procs) = run_pairs(pairs, &pt.stream);
+        let fg = &pairs.testbeds[0];
+        let lat = &fg.borrower.remote().stats.read_latency;
+        CongestionPoint {
+            pairs: pt.pairs,
+            fg_latency_us: lat.mean() / 1e6,
+            fg_p99_us: lat.p99() as f64 / 1e6,
+            fg_bandwidth_gib_s: procs[0].mean_bandwidth_gib_s(),
+        }
+    })
 }
 
 /// How well constant injection emulates real congestion.
@@ -158,19 +172,36 @@ pub fn emulation_fidelity(
 
     // Binary-search PERIOD for a matching mean latency. Attach at the
     // vanilla setting and program the PERIOD register afterwards, so even
-    // extreme candidate values can be probed.
+    // extreme candidate values can be probed. The search is inherently
+    // sequential, but each probe is a single-point sweep so candidate
+    // PERIODs hit the memoization cache on re-runs.
+    #[derive(Clone, Debug, Serialize)]
+    struct Probe {
+        period: u64,
+        cfg: TestbedConfig,
+        stream: StreamConfig,
+    }
     let measure = |period: u64| -> (f64, f64, f64) {
-        let mut tb = Testbed::build(base).expect("attach");
-        tb.borrower
-            .remote_mut()
-            .set_delay(thymesim_fabric::DelaySpec::Period(period));
-        let report = crate::runners::run_stream(&mut tb, stream, crate::runners::Placement::Remote);
-        let lat = &tb.borrower.remote().stats.read_latency;
-        (
-            lat.mean() / 1e6,
-            lat.p99() as f64 / 1e6,
-            report.best_bandwidth_gib_s(),
-        )
+        let probe = Probe {
+            period,
+            cfg: base.clone(),
+            stream: *stream,
+        };
+        let mut out = sweep::run("beyond/emulation-probe", &[probe], |_ctx, pt| {
+            let mut tb = Testbed::build(&pt.cfg).expect("attach");
+            tb.borrower
+                .remote_mut()
+                .set_delay(thymesim_fabric::DelaySpec::Period(pt.period));
+            let report =
+                crate::runners::run_stream(&mut tb, &pt.stream, crate::runners::Placement::Remote);
+            let lat = &tb.borrower.remote().stats.read_latency;
+            (
+                lat.mean() / 1e6,
+                lat.p99() as f64 / 1e6,
+                report.best_bandwidth_gib_s(),
+            )
+        });
+        out.pop().expect("one probe point")
     };
     let (mut lo, mut hi) = (1u64, 4096u64);
     while lo < hi {
@@ -202,7 +233,7 @@ pub fn emulation_fidelity(
 // ---------------------------------------------------------------------------
 
 /// Outcome of the rack-topology comparison.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct TopologyPoint {
     pub placement: String,
     pub background_pairs: usize,
@@ -221,38 +252,56 @@ pub fn rack_topology(
     tree: TreeConfig,
     background: usize,
 ) -> Vec<TopologyPoint> {
-    let mut out = Vec::new();
-    for (label, cross) in [("intra-rack", false), ("cross-rack", true)] {
-        let topo = TreeTopology::new(tree);
+    #[derive(Clone, Debug, Serialize)]
+    struct Point {
+        placement: String,
+        cross: bool,
+        background: usize,
+        tree: TreeConfig,
+        cfg: TestbedConfig,
+        stream: StreamConfig,
+    }
+    let grid: Vec<Point> = [("intra-rack", false), ("cross-rack", true)]
+        .iter()
+        .map(|&(label, cross)| Point {
+            placement: label.into(),
+            cross,
+            background,
+            tree,
+            cfg: base.clone(),
+            stream: *stream,
+        })
+        .collect();
+    sweep::run("beyond/rack-topology", &grid, |_ctx, pt| {
+        let topo = TreeTopology::new(pt.tree);
         let mut testbeds = Vec::new();
         // Foreground pair: rack 0 borrower; lender in rack 0 or rack 1.
         {
-            let mut tb = Testbed::build(base).expect("fg attach");
-            let (fwd, rev) = topo.route_pair(0, if cross { 1 } else { 0 });
+            let mut tb = Testbed::build(&pt.cfg).expect("fg attach");
+            let (fwd, rev) = topo.route_pair(0, if pt.cross { 1 } else { 0 });
             tb.borrower
                 .remote_mut()
                 .set_route(fwd.hops, rev.hops, fwd.hop_latency);
             testbeds.push(tb);
         }
         // Background pairs always borrow cross-rack from rack 0 to rack 1.
-        for _ in 0..background {
-            let mut tb = Testbed::build(base).expect("bg attach");
+        for _ in 0..pt.background {
+            let mut tb = Testbed::build(&pt.cfg).expect("bg attach");
             let (fwd, rev) = topo.route_pair(0, 1);
             tb.borrower
                 .remote_mut()
                 .set_route(fwd.hops, rev.hops, fwd.hop_latency);
             testbeds.push(tb);
         }
-        let (pairs, procs) = run_pairs(MultiPair { testbeds }, stream);
+        let (pairs, procs) = run_pairs(MultiPair { testbeds }, &pt.stream);
         let fg = &pairs.testbeds[0];
-        out.push(TopologyPoint {
-            placement: label.into(),
-            background_pairs: background,
+        TopologyPoint {
+            placement: pt.placement.clone(),
+            background_pairs: pt.background,
             fg_latency_us: fg.borrower.remote().stats.read_latency.mean() / 1e6,
             fg_bandwidth_gib_s: procs[0].mean_bandwidth_gib_s(),
-        });
-    }
-    out
+        }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -260,7 +309,7 @@ pub fn rack_topology(
 // ---------------------------------------------------------------------------
 
 /// One pooling-sweep point.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PoolingPoint {
     pub borrowers: usize,
     /// Pool/lender bus bandwidth in GB/s.
@@ -298,21 +347,34 @@ pub fn pooling_sweep(
     pool_gb_s: f64,
     counts: &[usize],
 ) -> Vec<PoolingPoint> {
-    counts
+    #[derive(Clone, Debug, Serialize)]
+    struct Point {
+        borrowers: usize,
+        pool_gb_s: f64,
+        cfg: TestbedConfig,
+        stream: StreamConfig,
+    }
+    let grid: Vec<Point> = counts
         .iter()
-        .map(|&n| {
-            let (pairs, pool) = build_pooled_borrowers(base, pool_gb_s * 1e9, n);
-            let (_pairs, procs) = run_pairs(pairs, stream);
-            let agg: f64 = procs.iter().map(|p| p.mean_bandwidth_gib_s()).sum();
-            let queue_us = pool.borrow().mean_queue_wait().as_us_f64();
-            PoolingPoint {
-                borrowers: n,
-                pool_gb_s,
-                per_borrower_gib_s: agg / n as f64,
-                pool_queue_us: queue_us,
-            }
+        .map(|&borrowers| Point {
+            borrowers,
+            pool_gb_s,
+            cfg: base.clone(),
+            stream: *stream,
         })
-        .collect()
+        .collect();
+    sweep::run("beyond/pooling", &grid, |_ctx, pt| {
+        let (pairs, pool) = build_pooled_borrowers(&pt.cfg, pt.pool_gb_s * 1e9, pt.borrowers);
+        let (_pairs, procs) = run_pairs(pairs, &pt.stream);
+        let agg: f64 = procs.iter().map(|p| p.mean_bandwidth_gib_s()).sum();
+        let queue_us = pool.borrow().mean_queue_wait().as_us_f64();
+        PoolingPoint {
+            borrowers: pt.borrowers,
+            pool_gb_s: pt.pool_gb_s,
+            per_borrower_gib_s: agg / pt.borrowers as f64,
+            pool_queue_us: queue_us,
+        }
+    })
 }
 
 #[cfg(test)]

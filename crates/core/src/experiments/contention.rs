@@ -10,9 +10,9 @@
 
 use crate::config::TestbedConfig;
 use crate::runners::{NodeStream, StreamProc};
+use crate::sweep;
 use crate::testbed::Testbed;
-use rayon::prelude::*;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use thymesim_sim::{run_processes, Time};
 use thymesim_workloads::stream::{StreamArrays, StreamConfig, StreamProcess};
 
@@ -20,8 +20,31 @@ use thymesim_workloads::stream::{StreamArrays, StreamConfig, StreamProcess};
 pub const FIG6_COUNTS: [usize; 4] = [1, 2, 4, 8];
 pub const FIG7_COUNTS: [usize; 5] = [0, 1, 2, 4, 8];
 
-/// One Fig. 6 point.
+/// The full configuration of one contention point.
 #[derive(Clone, Debug, Serialize)]
+struct ContentionPoint {
+    instances: usize,
+    cfg: TestbedConfig,
+    stream: StreamConfig,
+}
+
+fn contention_grid(
+    base: &TestbedConfig,
+    stream: &StreamConfig,
+    counts: &[usize],
+) -> Vec<ContentionPoint> {
+    counts
+        .iter()
+        .map(|&instances| ContentionPoint {
+            instances,
+            cfg: base.clone(),
+            stream: *stream,
+        })
+        .collect()
+}
+
+/// One Fig. 6 point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct McbnPoint {
     pub instances: usize,
     /// Mean STREAM-reported bandwidth per instance, GiB/s.
@@ -32,38 +55,37 @@ pub struct McbnPoint {
 
 /// Run MCBN at each instance count.
 pub fn mcbn(base: &TestbedConfig, stream: &StreamConfig, counts: &[usize]) -> Vec<McbnPoint> {
-    let mut points: Vec<McbnPoint> = counts
-        .par_iter()
-        .map(|&n| {
-            assert!(n >= 1);
-            let mut tb = Testbed::build(base).expect("MCBN attach");
-            let mut procs = Vec::with_capacity(n);
-            for _ in 0..n {
-                let arrays = StreamArrays::alloc(&mut tb.remote_arena, stream.elements);
-                arrays.init(&mut tb.borrower);
-                procs.push(StreamProc(StreamProcess::new(
-                    *stream,
-                    arrays,
-                    tb.attach.ready_at,
-                )));
-            }
-            let stats = run_processes(&mut procs, &mut tb.borrower, Time::NEVER);
-            assert_eq!(stats.finished, n, "instances did not finish");
-            let bws: Vec<f64> = procs.iter().map(|p| p.0.mean_bandwidth_gib_s()).collect();
-            let agg: f64 = bws.iter().sum();
-            McbnPoint {
-                instances: n,
-                per_instance_gib_s: agg / n as f64,
-                aggregate_gib_s: agg,
-            }
-        })
-        .collect();
+    let grid = contention_grid(base, stream, counts);
+    let mut points = sweep::run("contention/mcbn", &grid, |_ctx, pt| {
+        let n = pt.instances;
+        assert!(n >= 1);
+        let mut tb = Testbed::build(&pt.cfg).expect("MCBN attach");
+        let mut procs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let arrays = StreamArrays::alloc(&mut tb.remote_arena, pt.stream.elements);
+            arrays.init(&mut tb.borrower);
+            procs.push(StreamProc(StreamProcess::new(
+                pt.stream,
+                arrays,
+                tb.attach.ready_at,
+            )));
+        }
+        let stats = run_processes(&mut procs, &mut tb.borrower, Time::NEVER);
+        assert_eq!(stats.finished, n, "instances did not finish");
+        let bws: Vec<f64> = procs.iter().map(|p| p.0.mean_bandwidth_gib_s()).collect();
+        let agg: f64 = bws.iter().sum();
+        McbnPoint {
+            instances: n,
+            per_instance_gib_s: agg / n as f64,
+            aggregate_gib_s: agg,
+        }
+    });
     points.sort_by_key(|p| p.instances);
     points
 }
 
 /// One Fig. 7 point.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MclnPoint {
     pub lender_instances: usize,
     /// The borrower instance's STREAM bandwidth, GiB/s.
@@ -74,46 +96,45 @@ pub struct MclnPoint {
 
 /// Run MCLN at each lender instance count.
 pub fn mcln(base: &TestbedConfig, stream: &StreamConfig, counts: &[usize]) -> Vec<MclnPoint> {
-    let mut points: Vec<MclnPoint> = counts
-        .par_iter()
-        .map(|&n| {
-            let mut tb = Testbed::build(base).expect("MCLN attach");
-            let mut procs: Vec<NodeStream> = Vec::with_capacity(n + 1);
-            // The measured borrower instance, over disaggregated memory.
-            let arrays = StreamArrays::alloc(&mut tb.remote_arena, stream.elements);
-            arrays.init(&mut tb.borrower);
-            procs.push(NodeStream::Borrower(StreamProcess::new(
-                *stream,
+    let grid = contention_grid(base, stream, counts);
+    let mut points = sweep::run("contention/mcln", &grid, |_ctx, pt| {
+        let n = pt.instances;
+        let mut tb = Testbed::build(&pt.cfg).expect("MCLN attach");
+        let mut procs: Vec<NodeStream> = Vec::with_capacity(n + 1);
+        // The measured borrower instance, over disaggregated memory.
+        let arrays = StreamArrays::alloc(&mut tb.remote_arena, pt.stream.elements);
+        arrays.init(&mut tb.borrower);
+        procs.push(NodeStream::Borrower(StreamProcess::new(
+            pt.stream,
+            arrays,
+            tb.attach.ready_at,
+        )));
+        // Contending instances on the lender's own memory. Lender-side
+        // STREAM keeps a resident working set on its local DRAM;
+        // Graph500-class MLP is irrelevant — they just burn bus
+        // bandwidth.
+        for _ in 0..n {
+            let arrays = StreamArrays::alloc(&mut tb.lender_arena, pt.stream.elements);
+            arrays.init(&mut tb.lender);
+            procs.push(NodeStream::Lender(StreamProcess::new(
+                pt.stream,
                 arrays,
                 tb.attach.ready_at,
             )));
-            // Contending instances on the lender's own memory. Lender-side
-            // STREAM keeps a resident working set on its local DRAM;
-            // Graph500-class MLP is irrelevant — they just burn bus
-            // bandwidth.
-            for _ in 0..n {
-                let arrays = StreamArrays::alloc(&mut tb.lender_arena, stream.elements);
-                arrays.init(&mut tb.lender);
-                procs.push(NodeStream::Lender(StreamProcess::new(
-                    *stream,
-                    arrays,
-                    tb.attach.ready_at,
-                )));
-            }
-            let stats = run_processes(&mut procs, &mut tb, Time::NEVER);
-            assert_eq!(stats.finished, n + 1);
-            let borrower_gib_s = procs[0].inner().mean_bandwidth_gib_s();
-            let lender_aggregate_gib_s = procs[1..]
-                .iter()
-                .map(|p| p.inner().mean_bandwidth_gib_s())
-                .sum();
-            MclnPoint {
-                lender_instances: n,
-                borrower_gib_s,
-                lender_aggregate_gib_s,
-            }
-        })
-        .collect();
+        }
+        let stats = run_processes(&mut procs, &mut tb, Time::NEVER);
+        assert_eq!(stats.finished, n + 1);
+        let borrower_gib_s = procs[0].inner().mean_bandwidth_gib_s();
+        let lender_aggregate_gib_s = procs[1..]
+            .iter()
+            .map(|p| p.inner().mean_bandwidth_gib_s())
+            .sum();
+        MclnPoint {
+            lender_instances: n,
+            borrower_gib_s,
+            lender_aggregate_gib_s,
+        }
+    });
     points.sort_by_key(|p| p.lender_instances);
     points
 }

@@ -8,15 +8,16 @@
 
 use crate::config::TestbedConfig;
 use crate::runners::{run_stream, Placement};
+use crate::sweep;
 use crate::testbed::Testbed;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use thymesim_delay::DelayDist;
 use thymesim_fabric::DelaySpec;
 use thymesim_sim::Dur;
 use thymesim_workloads::stream::StreamConfig;
 
 /// One distribution's outcome.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DistPoint {
     pub dist: String,
     pub mean_injected_us: f64,
@@ -65,30 +66,46 @@ pub fn dist_sweep(
     mean: Dur,
     seed: u64,
 ) -> Vec<DistPoint> {
-    standard_panel(mean, seed)
+    #[derive(Clone, Debug, Serialize)]
+    struct Point {
+        name: String,
+        dist: DelayDist,
+        seed: u64,
+        cfg: TestbedConfig,
+        stream: StreamConfig,
+    }
+    let grid: Vec<Point> = standard_panel(mean, seed)
         .into_iter()
-        .map(|(name, dist)| {
-            let mean_injected_us = dist.mean().as_us_f64();
-            // Attach with the vanilla gate (tens-of-µs mean delay would
-            // legitimately blow the discovery budget), then program the
-            // distribution into the injector, as on the real FPGA.
-            let mut tb = Testbed::build(base).expect("vanilla attach");
-            tb.borrower
-                .remote_mut()
-                .set_delay(DelaySpec::PerMessage { dist, seed });
-            let report = run_stream(&mut tb, stream, Placement::Remote);
-            let mean_us = report.miss_latency_mean.as_us_f64();
-            let p99_us = report.miss_latency_p99.as_us_f64();
-            DistPoint {
-                dist: name,
-                mean_injected_us,
-                latency_mean_us: mean_us,
-                latency_p99_us: p99_us,
-                bandwidth_gib_s: report.best_bandwidth_gib_s(),
-                tail_ratio: p99_us / mean_us,
-            }
+        .map(|(name, dist)| Point {
+            name,
+            dist,
+            seed,
+            cfg: base.clone(),
+            stream: *stream,
         })
-        .collect()
+        .collect();
+    sweep::run("dist/panel", &grid, |_ctx, pt| {
+        let mean_injected_us = pt.dist.mean().as_us_f64();
+        // Attach with the vanilla gate (tens-of-µs mean delay would
+        // legitimately blow the discovery budget), then program the
+        // distribution into the injector, as on the real FPGA.
+        let mut tb = Testbed::build(&pt.cfg).expect("vanilla attach");
+        tb.borrower.remote_mut().set_delay(DelaySpec::PerMessage {
+            dist: pt.dist.clone(),
+            seed: pt.seed,
+        });
+        let report = run_stream(&mut tb, &pt.stream, Placement::Remote);
+        let mean_us = report.miss_latency_mean.as_us_f64();
+        let p99_us = report.miss_latency_p99.as_us_f64();
+        DistPoint {
+            dist: pt.name.clone(),
+            mean_injected_us,
+            latency_mean_us: mean_us,
+            latency_p99_us: p99_us,
+            bandwidth_gib_s: report.best_bandwidth_gib_s(),
+            tail_ratio: p99_us / mean_us,
+        }
+    })
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 
 use crate::config::TestbedConfig;
 use crate::experiments::beyond::MultiPair;
+use crate::sweep;
 use crate::testbed::Testbed;
 use serde::Serialize;
 use thymesim_mem::{shared_dram, DramConfig, SharedDram};
@@ -207,19 +208,49 @@ pub fn placement_study(
     borrowers: usize,
     lenders: usize,
 ) -> Vec<PlacementPoint> {
-    let mut out = Vec::new();
-    for (regime, bus) in [("borrowing", 140.0), ("pooling", 12.0)] {
+    #[derive(Clone, Debug, Serialize)]
+    struct Point {
+        regime: String,
+        policy: PlacementPolicy,
+        bus_gb_s: f64,
+        borrowers: usize,
+        lenders: usize,
+        cfg: TestbedConfig,
+        stream: StreamConfig,
+    }
+    let mut grid = Vec::with_capacity(4);
+    for (regime, bus_gb_s) in [("borrowing", 140.0), ("pooling", 12.0)] {
         for policy in [PlacementPolicy::CapacityOnly, PlacementPolicy::LoadAware] {
-            let (mean, min) = placement_run(base, stream, borrowers, lenders, bus, policy);
-            out.push(PlacementPoint {
-                policy,
+            grid.push(Point {
                 regime: regime.into(),
-                mean_borrower_gib_s: mean,
-                min_borrower_gib_s: min,
+                policy,
+                bus_gb_s,
+                borrowers,
+                lenders,
+                cfg: base.clone(),
+                stream: *stream,
             });
         }
     }
-    out
+    let cells: Vec<(f64, f64)> = sweep::run("placement/policies", &grid, |_ctx, pt| {
+        placement_run(
+            &pt.cfg,
+            &pt.stream,
+            pt.borrowers,
+            pt.lenders,
+            pt.bus_gb_s,
+            pt.policy,
+        )
+    });
+    grid.iter()
+        .zip(&cells)
+        .map(|(pt, &(mean, min))| PlacementPoint {
+            policy: pt.policy,
+            regime: pt.regime.clone(),
+            mean_borrower_gib_s: mean,
+            min_borrower_gib_s: min,
+        })
+        .collect()
 }
 
 #[cfg(test)]

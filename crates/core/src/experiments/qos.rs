@@ -11,6 +11,7 @@
 
 use crate::config::TestbedConfig;
 use crate::runners::GraphKernel;
+use crate::sweep;
 use crate::testbed::Testbed;
 use serde::Serialize;
 use thymesim_fabric::DelaySpec;
@@ -181,32 +182,46 @@ pub fn page_migration_study(
     period: u64,
     local_budget: u64,
 ) -> Vec<QosPoint> {
+    #[derive(Clone, Debug, Serialize)]
+    struct Point {
+        policy: String,
+        period: u64,
+        placement: GraphPlacement,
+        cfg: TestbedConfig,
+        graph: Graph500Config,
+        kernel: GraphKernel,
+    }
     let llc = base.borrower.cache.capacity_bytes();
-    let (remote_ms, _) = run_placed(base, gcfg, kernel, period, GraphPlacement::all_remote());
     let migrated = plan_migration(gcfg, kernel, llc, local_budget);
-    let (migrated_ms, migrated_bytes) = run_placed(base, gcfg, kernel, period, migrated);
-    let (local_ms, local_bytes) =
-        run_placed(base, gcfg, kernel, period, GraphPlacement::all_local());
-    vec![
-        QosPoint {
-            policy: "all-remote".into(),
-            local_bytes: 0,
-            jct_ms: remote_ms,
-            speedup: 1.0,
-        },
-        QosPoint {
-            policy: format!("migrated (budget {} MiB)", local_budget >> 20),
-            local_bytes: migrated_bytes,
-            jct_ms: migrated_ms,
-            speedup: remote_ms / migrated_ms,
-        },
-        QosPoint {
-            policy: "all-local".into(),
+    let mk = |policy: String, placement: GraphPlacement| Point {
+        policy,
+        period,
+        placement,
+        cfg: base.clone(),
+        graph: *gcfg,
+        kernel,
+    };
+    let grid = vec![
+        mk("all-remote".into(), GraphPlacement::all_remote()),
+        mk(
+            format!("migrated (budget {} MiB)", local_budget >> 20),
+            migrated,
+        ),
+        mk("all-local".into(), GraphPlacement::all_local()),
+    ];
+    let cells: Vec<(f64, u64)> = sweep::run("qos/page-migration", &grid, |_ctx, pt| {
+        run_placed(&pt.cfg, &pt.graph, pt.kernel, pt.period, pt.placement)
+    });
+    let remote_ms = cells[0].0;
+    grid.iter()
+        .zip(&cells)
+        .map(|(pt, &(jct_ms, local_bytes))| QosPoint {
+            policy: pt.policy.clone(),
             local_bytes,
-            jct_ms: local_ms,
-            speedup: remote_ms / local_ms,
-        },
-    ]
+            jct_ms,
+            speedup: remote_ms / jct_ms,
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -6,8 +6,9 @@
 
 use crate::config::TestbedConfig;
 use crate::runners::{run_stream, Placement};
+use crate::sweep;
 use crate::testbed::Testbed;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use thymesim_fabric::{AttachError, Crash};
 use thymesim_workloads::stream::StreamConfig;
 
@@ -15,7 +16,7 @@ use thymesim_workloads::stream::StreamConfig;
 pub const FIG4_PERIODS: [u64; 5] = [1, 10, 100, 1000, 10_000];
 
 /// What happened at one PERIOD.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum ResilienceOutcome {
     /// System survived; STREAM ran to completion.
     Completed {
@@ -29,7 +30,7 @@ pub enum ResilienceOutcome {
     MachineCheck { latency_ms: f64 },
 }
 
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ResiliencePoint {
     pub period: u64,
     pub outcome: ResilienceOutcome,
@@ -47,38 +48,49 @@ pub fn resilience_sweep(
     stream: &StreamConfig,
     periods: &[u64],
 ) -> Vec<ResiliencePoint> {
-    periods
+    #[derive(Clone, Debug, Serialize)]
+    struct Point {
+        period: u64,
+        cfg: TestbedConfig,
+        stream: StreamConfig,
+    }
+    let grid: Vec<Point> = periods
         .iter()
-        .map(|&period| {
-            let cfg = base.clone().with_period(period);
-            let outcome = match Testbed::build(&cfg) {
-                Err(AttachError::DiscoveryTimeout { elapsed, budget }) => {
-                    ResilienceOutcome::AttachTimeout {
-                        elapsed_ms: elapsed.as_us_f64() / 1e3,
-                        budget_ms: budget.as_us_f64() / 1e3,
-                    }
-                }
-                Err(other) => panic!("unexpected attach error: {other:?}"),
-                Ok(mut tb) => {
-                    let report = run_stream(&mut tb, stream, Placement::Remote);
-                    match tb.crash() {
-                        Some(Crash::MachineCheck { latency, .. }) => {
-                            ResilienceOutcome::MachineCheck {
-                                latency_ms: latency.as_us_f64() / 1e3,
-                            }
-                        }
-                        Some(Crash::AttachTimeout { .. }) | Some(Crash::LinkDead { .. }) | None => {
-                            ResilienceOutcome::Completed {
-                                latency_us: report.miss_latency_mean.as_us_f64(),
-                                bandwidth_gib_s: report.best_bandwidth_gib_s(),
-                            }
-                        }
-                    }
-                }
-            };
-            ResiliencePoint { period, outcome }
+        .map(|&period| Point {
+            period,
+            cfg: base.clone().with_period(period),
+            stream: *stream,
         })
-        .collect()
+        .collect();
+    sweep::run("resilience/period-stress", &grid, |_ctx, pt| {
+        let outcome = match Testbed::build(&pt.cfg) {
+            Err(AttachError::DiscoveryTimeout { elapsed, budget }) => {
+                ResilienceOutcome::AttachTimeout {
+                    elapsed_ms: elapsed.as_us_f64() / 1e3,
+                    budget_ms: budget.as_us_f64() / 1e3,
+                }
+            }
+            Err(other) => panic!("unexpected attach error: {other:?}"),
+            Ok(mut tb) => {
+                let report = run_stream(&mut tb, &pt.stream, Placement::Remote);
+                match tb.crash() {
+                    Some(Crash::MachineCheck { latency, .. }) => ResilienceOutcome::MachineCheck {
+                        latency_ms: latency.as_us_f64() / 1e3,
+                    },
+                    Some(Crash::AttachTimeout { .. }) | Some(Crash::LinkDead { .. }) | None => {
+                        ResilienceOutcome::Completed {
+                            latency_us: report.miss_latency_mean.as_us_f64(),
+                            bandwidth_gib_s: report.best_bandwidth_gib_s(),
+                        }
+                    }
+                }
+            }
+        };
+        ResiliencePoint {
+            period: pt.period,
+            outcome,
+        }
+    })
 }
 
 #[cfg(test)]

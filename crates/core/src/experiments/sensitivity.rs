@@ -12,7 +12,6 @@
 
 use crate::config::TestbedConfig;
 use crate::experiments::validate::{stream_delay_sweep, validate_injection};
-use rayon::prelude::*;
 use serde::Serialize;
 use thymesim_sim::Dur;
 use thymesim_workloads::stream::StreamConfig;
@@ -92,10 +91,16 @@ fn headline(cfg: &TestbedConfig, stream: &StreamConfig) -> (f64, f64) {
 }
 
 /// Perturb each knob ±50% and report headline shifts (relative to base).
+///
+/// The knob loop itself is serial: every internal `headline` call fans out
+/// through the swept [`stream_delay_sweep`], so parallelism *and*
+/// memoization already happen per simulated point — the right
+/// granularity, since neighbouring knobs share the unperturbed base
+/// points.
 pub fn tornado(base: &TestbedConfig, stream: &StreamConfig) -> Vec<SensitivityRow> {
     let (slope0, floor0) = headline(base, stream);
     let mut rows: Vec<SensitivityRow> = ALL_KNOBS
-        .par_iter()
+        .iter()
         .map(|&knob| {
             let (cfg_lo, s_lo) = apply(base, stream, knob, 0.5);
             let (slope_lo, floor_lo) = headline(&cfg_lo, &s_lo);

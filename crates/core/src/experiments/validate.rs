@@ -6,9 +6,9 @@
 //! coverage, PERIOD↔latency linearity, and constant BDP.
 
 use crate::config::TestbedConfig;
+use crate::sweep;
 use crate::testbed::Testbed;
-use rayon::prelude::*;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use thymesim_net::LatencyProfile;
 use thymesim_sim::{linear_fit, Dur, LinearFit};
 use thymesim_workloads::probe::{ChaseTable, ProbeConfig};
@@ -18,7 +18,7 @@ use thymesim_workloads::stream::StreamConfig;
 pub const FIG2_PERIODS: [u64; 9] = [1, 2, 5, 10, 20, 50, 100, 200, 300];
 
 /// One point of the Fig. 2/3 series.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DelaySweepPoint {
     pub period: u64,
     /// Mean remote-access latency measured by STREAM (Fig. 2 y-axis).
@@ -32,6 +32,15 @@ pub struct DelaySweepPoint {
     pub copy_gib_s: f64,
 }
 
+/// Full configuration of one sweep point — the sweep key (and thus the
+/// memoization entry and the point's seed) hashes all of it.
+#[derive(Clone, Debug, Serialize)]
+struct StreamPoint {
+    period: u64,
+    cfg: TestbedConfig,
+    stream: StreamConfig,
+}
+
 /// Run STREAM at every PERIOD in `periods` (parallel across points; each
 /// point is its own deterministic simulation).
 pub fn stream_delay_sweep(
@@ -39,30 +48,34 @@ pub fn stream_delay_sweep(
     stream: &StreamConfig,
     periods: &[u64],
 ) -> Vec<DelaySweepPoint> {
-    let mut points: Vec<DelaySweepPoint> = periods
-        .par_iter()
-        .map(|&period| {
-            let cfg = base.clone().with_period(period);
-            let mut tb =
-                crate::testbed::Testbed::build(&cfg).expect("validation periods must attach");
-            let report =
-                crate::runners::run_stream(&mut tb, stream, crate::runners::Placement::Remote);
-            // Consumed fabric bandwidth: response lines over the run.
-            let reads = tb.borrower.remote().stats.reads;
-            let line = cfg.fabric.line_bytes;
-            let elapsed = report.elapsed.as_secs_f64();
-            let consumed = reads as f64 * line as f64 / elapsed;
-            let latency_s = report.miss_latency_mean.as_secs_f64();
-            DelaySweepPoint {
-                period,
-                latency_us: report.miss_latency_mean.as_us_f64(),
-                bandwidth_gib_s: report.best_bandwidth_gib_s(),
-                bdp_kib: consumed * latency_s / 1024.0,
-                triad_gib_s: report.triad.bandwidth_gib_s,
-                copy_gib_s: report.copy.bandwidth_gib_s,
-            }
+    let grid: Vec<StreamPoint> = periods
+        .iter()
+        .map(|&period| StreamPoint {
+            period,
+            cfg: base.clone().with_period(period),
+            stream: *stream,
         })
         .collect();
+    let mut points = sweep::run("validate/stream-delay", &grid, |_ctx, pt| {
+        let mut tb =
+            crate::testbed::Testbed::build(&pt.cfg).expect("validation periods must attach");
+        let report =
+            crate::runners::run_stream(&mut tb, &pt.stream, crate::runners::Placement::Remote);
+        // Consumed fabric bandwidth: response lines over the run.
+        let reads = tb.borrower.remote().stats.reads;
+        let line = pt.cfg.fabric.line_bytes;
+        let elapsed = report.elapsed.as_secs_f64();
+        let consumed = reads as f64 * line as f64 / elapsed;
+        let latency_s = report.miss_latency_mean.as_secs_f64();
+        DelaySweepPoint {
+            period: pt.period,
+            latency_us: report.miss_latency_mean.as_us_f64(),
+            bandwidth_gib_s: report.best_bandwidth_gib_s(),
+            bdp_kib: consumed * latency_s / 1024.0,
+            triad_gib_s: report.triad.bandwidth_gib_s,
+            copy_gib_s: report.copy.bandwidth_gib_s,
+        }
+    });
     points.sort_by_key(|p| p.period);
     points
 }
@@ -120,7 +133,7 @@ pub fn validate_injection(points: &[DelaySweepPoint]) -> ValidationReport {
 }
 
 /// One point of the single-outstanding-load (pointer-chase) sweep.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ProbeSweepPoint {
     pub period: u64,
     /// Mean dependent-load latency.
@@ -138,27 +151,37 @@ pub fn probe_delay_sweep(
     probe: &ProbeConfig,
     periods: &[u64],
 ) -> Vec<ProbeSweepPoint> {
-    let mut points: Vec<ProbeSweepPoint> = periods
-        .par_iter()
-        .map(|&period| {
-            let cfg = base.clone().with_period(period);
-            let mut tb = Testbed::build(&cfg).expect("probe periods attach");
-            let Testbed {
-                borrower,
-                remote_arena,
-                attach,
-                ..
-            } = &mut tb;
-            let table = ChaseTable::build(probe, borrower, remote_arena);
-            let report = table.run(probe, borrower, attach.ready_at);
-            assert!(report.chain_valid);
-            ProbeSweepPoint {
-                period,
-                latency_us: report.mean.as_us_f64(),
-                p99_us: report.p99.as_us_f64(),
-            }
+    #[derive(Clone, Debug, Serialize)]
+    struct ProbePoint {
+        period: u64,
+        cfg: TestbedConfig,
+        probe: ProbeConfig,
+    }
+    let grid: Vec<ProbePoint> = periods
+        .iter()
+        .map(|&period| ProbePoint {
+            period,
+            cfg: base.clone().with_period(period),
+            probe: *probe,
         })
         .collect();
+    let mut points = sweep::run("validate/probe-delay", &grid, |_ctx, pt| {
+        let mut tb = Testbed::build(&pt.cfg).expect("probe periods attach");
+        let Testbed {
+            borrower,
+            remote_arena,
+            attach,
+            ..
+        } = &mut tb;
+        let table = ChaseTable::build(&pt.probe, borrower, remote_arena);
+        let report = table.run(&pt.probe, borrower, attach.ready_at);
+        assert!(report.chain_valid);
+        ProbeSweepPoint {
+            period: pt.period,
+            latency_us: report.mean.as_us_f64(),
+            p99_us: report.p99.as_us_f64(),
+        }
+    });
     points.sort_by_key(|p| p.period);
     points
 }

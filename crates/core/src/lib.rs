@@ -19,6 +19,7 @@ pub mod config;
 pub mod experiments;
 pub mod report;
 pub mod runners;
+pub mod sweep;
 pub mod testbed;
 
 /// Flat re-exports of the common entry points.
@@ -54,6 +55,7 @@ pub mod prelude {
         graph500_local_baseline, kv_local_baseline, run_graph500, run_kv, run_stream,
         run_stream_on_testbed, stream_local_baseline, GraphKernel, Placement,
     };
+    pub use crate::sweep::{SweepCtx, SweepOptions, SweepOutcome};
     pub use crate::testbed::Testbed;
     pub use thymesim_fabric::{Crash, DelaySpec};
     pub use thymesim_net::{TreeConfig, TreeTopology};

@@ -97,7 +97,7 @@ pub fn kv_local_baseline(node: &NodeConfig, cfg: &KvConfig) -> KvReport {
 // ---------------------------------------------------------------------------
 
 /// Which Graph500 kernel to run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
 pub enum GraphKernel {
     Bfs,
     Sssp,

@@ -9,7 +9,7 @@
 use thymesim_sim::{Dur, Time, Xoshiro256};
 
 /// A latency distribution for per-message injected delay.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub enum DelayDist {
     /// Always exactly this much (equivalent to a calibrated PERIOD).
     Constant(Dur),

@@ -55,7 +55,7 @@ pub struct AttachReport {
 }
 
 /// Control-plane tunables.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, serde::Serialize)]
 pub struct ControlConfig {
     /// Configuration-space reads needed to enumerate the FPGA and program
     /// the translation tables.

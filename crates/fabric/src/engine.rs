@@ -24,7 +24,7 @@ use thymesim_net::{LinkConfig, SerialLink, SharedLink};
 use thymesim_sim::{Clock, Dur, Histogram, Time};
 
 /// What the delay injector does this run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub enum DelaySpec {
     /// The paper's knob: one beat per PERIOD FPGA cycles (PERIOD = 1 is
     /// the vanilla prototype).
@@ -74,7 +74,7 @@ impl Gate {
 }
 
 /// Fabric configuration (defaults reproduce the two-node prototype).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct FabricConfig {
     /// FPGA clock of the NIC (AlphaData 9V3 design: 250 MHz → 4 ns).
     pub fpga_clock: Clock,

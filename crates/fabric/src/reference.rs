@@ -123,8 +123,7 @@ impl PathActor {
         // The earliest credit frees at the min (real) completion.
         let free_at = match self.inflight.peek() {
             Some(&Reverse(done))
-                if self.inflight.len() >= self.cfg.window
-                    && done < Self::PROVISIONAL_FLOOR =>
+                if self.inflight.len() >= self.cfg.window && done < Self::PROVISIONAL_FLOOR =>
             {
                 Time(done.max(at.as_ps()))
             }
@@ -181,8 +180,7 @@ impl Actor for PathActor {
                     (self.req_wire as f64 * 8.0e12 / self.cfg.link.bits_per_sec).round() as u64,
                 );
                 self.tx_free = start + ser;
-                let arrive =
-                    start + ser + self.cfg.link.propagation + self.cfg.lender_nic_latency;
+                let arrive = start + ser + self.cfg.link.propagation + self.cfg.lender_nic_latency;
                 ctx.schedule_at(
                     arrive,
                     Event {
@@ -252,9 +250,8 @@ pub fn reference_completions(
         "arrivals must be sorted"
     );
     let mut engine = Engine::new();
-    let bus_busy = Dur::ps(
-        (cfg.line_bytes as f64 * 1e12 / dram.bandwidth_bytes_per_sec).round() as u64,
-    );
+    let bus_busy =
+        Dur::ps((cfg.line_bytes as f64 * 1e12 / dram.bandwidth_bytes_per_sec).round() as u64);
     let out: Rc<RefCell<Vec<Option<Time>>>> = Rc::new(RefCell::new(vec![None; arrivals.len()]));
     let actor = Shared {
         inner: PathActor {
@@ -302,11 +299,7 @@ mod tests {
     use proptest::prelude::*;
     use thymesim_mem::{shared_dram, Addr, DramConfig, RemoteBackend};
 
-    fn timeline_completions(
-        cfg: &FabricConfig,
-        dram: DramConfig,
-        arrivals: &[Time],
-    ) -> Vec<Time> {
+    fn timeline_completions(cfg: &FabricConfig, dram: DramConfig, arrivals: &[Time]) -> Vec<Time> {
         let mut e = FabricEngine::new(cfg.clone(), shared_dram(dram));
         e.xlate.map(Segment {
             borrower_base: 0,
@@ -360,7 +353,7 @@ mod tests {
         ) {
             let mut t = Time::ZERO;
             let arrivals: Vec<Time> = gaps.drain(..).map(|g| {
-                t = t + thymesim_sim::Dur::ns(g);
+                t += thymesim_sim::Dur::ns(g);
                 t
             }).collect();
             let c = cfg(period, window);

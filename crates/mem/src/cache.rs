@@ -10,7 +10,7 @@
 use crate::addr::Addr;
 
 /// Cache geometry.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, serde::Serialize)]
 pub struct CacheConfig {
     /// Number of sets; must be a power of two.
     pub sets: usize,

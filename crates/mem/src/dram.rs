@@ -13,7 +13,7 @@ use std::rc::Rc;
 use thymesim_sim::{Dur, Time};
 
 /// Configuration of one node's memory subsystem timing.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, serde::Serialize)]
 pub struct DramConfig {
     /// Sustained bus bandwidth in bytes/second (POWER9 AC922: ~140 GB/s
     /// per socket of measured STREAM bandwidth).

@@ -40,7 +40,7 @@ impl RemoteBackend for NoRemote {
 }
 
 /// Latency constants for the on-chip part of the hierarchy.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, serde::Serialize)]
 pub struct SysTiming {
     /// Effective load-to-use time for an LLC hit (folds L1/L2/L3 into one).
     pub llc_hit: Dur,

@@ -11,7 +11,7 @@ use std::rc::Rc;
 use thymesim_sim::{Dur, Time};
 
 /// Static link parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, serde::Serialize)]
 pub struct LinkConfig {
     /// Raw rate in bits per second.
     pub bits_per_sec: f64,

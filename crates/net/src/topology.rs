@@ -10,7 +10,7 @@ use crate::link::{shared_link, LinkConfig, SharedLink};
 use thymesim_sim::Dur;
 
 /// Topology parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, serde::Serialize)]
 pub struct TreeConfig {
     pub racks: usize,
     /// ToR port links (node ↔ ToR).

@@ -17,6 +17,7 @@
 //! reproducible from its seed and configuration.
 
 pub mod engine;
+pub mod pool;
 pub mod process;
 pub mod queue;
 pub mod rng;
@@ -24,6 +25,7 @@ pub mod stats;
 pub mod time;
 
 pub use engine::{Actor, ActorId, Ctx, Engine, Event};
+pub use pool::{default_jobs, ordered_map};
 pub use process::{run as run_processes, Process, RunStats, Step};
 pub use queue::EventQueue;
 pub use rng::{SplitMix64, Xoshiro256};

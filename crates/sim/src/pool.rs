@@ -1,0 +1,94 @@
+//! A tiny deterministic work pool: run a function over a slice on `N`
+//! OS threads and return the results **in input order**, regardless of
+//! which thread finished which item when.
+//!
+//! This is the execution layer under `thymesim-core`'s sweep harness.
+//! Determinism is structural, not accidental: each item's inputs (and
+//! any RNG seed) depend only on the item itself, and the output vector
+//! is reassembled by input index — thread scheduling can change wall
+//! clock but never results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use when the caller doesn't say:
+/// the host's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every item of `items`, using up to `jobs` threads, and
+/// collect the results in input order. `f` receives `(index, &item)`.
+///
+/// `jobs == 1` degenerates to a plain serial loop on the calling
+/// thread, so serial and parallel runs share one code path for the
+/// work itself. A panic in `f` propagates to the caller after all
+/// in-flight items finish.
+pub fn ordered_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                done.lock().expect("pool worker panicked").push((i, r));
+            });
+        }
+    });
+
+    let mut out = done.into_inner().expect("pool worker panicked");
+    debug_assert_eq!(out.len(), items.len());
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for jobs in [1, 2, 8, 300] {
+            let out = ordered_map(&items, jobs, |i, x| {
+                // Stagger finish order to stress the reassembly.
+                std::thread::sleep(std::time::Duration::from_micros((i % 7) as u64));
+                x * 3
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, r) in out.iter().enumerate() {
+                assert_eq!(*r, items[i] * 3);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..64).collect();
+        let serial = ordered_map(&items, 1, |i, x| x.wrapping_mul(i as u64 + 1));
+        let parallel = ordered_map(&items, 8, |i, x| x.wrapping_mul(i as u64 + 1));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u64> = ordered_map(&[] as &[u64], 8, |_, x| *x);
+        assert!(out.is_empty());
+    }
+}

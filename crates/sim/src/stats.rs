@@ -373,6 +373,43 @@ pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
     }
 }
 
+/// The all-zero fit. Exists so reports can mark a fit as
+/// `#[serde(skip)]` and recompute it after deserialization.
+impl Default for LinearFit {
+    fn default() -> Self {
+        LinearFit {
+            slope: 0.0,
+            intercept: 0.0,
+            r: 0.0,
+        }
+    }
+}
+
+impl serde::Serialize for LinearFit {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("slope".to_string(), serde::Value::F64(self.slope)),
+            ("intercept".to_string(), serde::Value::F64(self.intercept)),
+            ("r".to_string(), serde::Value::F64(self.r)),
+        ])
+    }
+}
+
+impl serde::Deserialize for LinearFit {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let get = |k: &str| -> Result<f64, serde::Error> {
+            v.get(k)
+                .and_then(serde::Value::as_f64)
+                .ok_or_else(|| serde::Error::msg(format!("LinearFit: missing `{k}`")))
+        };
+        Ok(LinearFit {
+            slope: get("slope")?,
+            intercept: get("intercept")?,
+            r: get("r")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

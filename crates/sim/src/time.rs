@@ -320,6 +320,52 @@ impl Clock {
     }
 }
 
+// Serde impls are written by hand: `Time`/`Dur` serialize transparently
+// as raw picosecond counts and `Clock` as its cycle length, so configs
+// hash and round-trip as plain integers.
+impl serde::Serialize for Time {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::U64(self.0)
+    }
+}
+
+impl serde::Deserialize for Time {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        v.as_u64()
+            .map(Time)
+            .ok_or_else(|| serde::Error::msg("Time: expected picosecond count"))
+    }
+}
+
+impl serde::Serialize for Dur {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::U64(self.0)
+    }
+}
+
+impl serde::Deserialize for Dur {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        v.as_u64()
+            .map(Dur)
+            .ok_or_else(|| serde::Error::msg("Dur: expected picosecond count"))
+    }
+}
+
+impl serde::Serialize for Clock {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::U64(self.cycle_ps)
+    }
+}
+
+impl serde::Deserialize for Clock {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v.as_u64() {
+            Some(ps) if ps > 0 => Ok(Clock { cycle_ps: ps }),
+            _ => Err(serde::Error::msg("Clock: expected positive cycle length")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

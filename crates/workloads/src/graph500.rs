@@ -26,7 +26,7 @@ pub const NO_PARENT: u32 = u32::MAX;
 pub const INF: u32 = u32::MAX;
 
 /// Benchmark configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, serde::Serialize)]
 pub struct Graph500Config {
     /// log2 of the vertex count (paper: 20).
     pub scale: u32,
@@ -172,7 +172,7 @@ pub enum GraphArray {
 }
 
 /// Per-array placement: `true` = remote (disaggregated) memory.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, serde::Serialize)]
 pub struct GraphPlacement {
     pub xadj_remote: bool,
     pub adj_remote: bool,

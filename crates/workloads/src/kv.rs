@@ -22,7 +22,7 @@ use thymesim_sim::{Dur, Histogram, SplitMix64, Time, Xoshiro256};
 /// Key-selection distribution (memtier supports uniform and skewed
 /// patterns; skew determines how much of the working set stays hot and
 /// therefore LLC-resident).
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
 pub enum KeyDist {
     /// Every key equally likely.
     Uniform,
@@ -32,7 +32,7 @@ pub enum KeyDist {
 }
 
 /// Workload configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, serde::Serialize)]
 pub struct KvConfig {
     /// Distinct keys pre-loaded into the store.
     pub keys: u64,

@@ -61,8 +61,8 @@ impl PageRankState {
 }
 
 /// Run push-style PageRank: each vertex distributes rank/degree to its
-/// neighbours. Timed accesses: xadj + adj sequential, rank[v] sequential,
-/// next[w] random scatter.
+/// neighbours. Timed accesses: xadj + adj sequential, rank\[v\] sequential,
+/// next\[w\] random scatter.
 pub fn pagerank<R: RemoteBackend>(
     cfg: &PageRankConfig,
     sys: &mut MemSystem<R>,
@@ -159,7 +159,9 @@ pub fn pagerank<R: RemoteBackend>(
 mod tests {
     use super::*;
     use crate::graph500::{build_csr, Graph500Config};
-    use thymesim_mem::{shared_dram, Addr, AddressMap, CacheConfig, DramConfig, NoRemote, SysTiming};
+    use thymesim_mem::{
+        shared_dram, Addr, AddressMap, CacheConfig, DramConfig, NoRemote, SysTiming,
+    };
 
     fn sys() -> MemSystem<NoRemote> {
         MemSystem::new(
@@ -171,7 +173,11 @@ mod tests {
         )
     }
 
-    fn setup() -> (MemSystem<NoRemote>, crate::graph500::CsrGraph, PageRankState) {
+    fn setup() -> (
+        MemSystem<NoRemote>,
+        crate::graph500::CsrGraph,
+        PageRankState,
+    ) {
         let gcfg = Graph500Config::tiny();
         let mut s = sys();
         let mut arena = Arena::new(Addr(0), 256 << 20);
@@ -197,8 +203,10 @@ mod tests {
     #[test]
     fn converges_with_iterations() {
         let (mut s, g, state) = setup();
-        let mut cfg = PageRankConfig::default();
-        cfg.iterations = 3;
+        let mut cfg = PageRankConfig {
+            iterations: 3,
+            ..Default::default()
+        };
         let early = pagerank(&cfg, &mut s, &g, &state, Time::ZERO);
         cfg.iterations = 20;
         let (mut s2, g2, state2) = setup();
@@ -279,9 +287,6 @@ mod tests {
             tolerant < 1.3,
             "a 64-deep window should hide 10x latency: {tolerant}"
         );
-        assert!(
-            exposed > 2.0,
-            "a 2-deep window should expose it: {exposed}"
-        );
+        assert!(exposed > 2.0, "a 2-deep window should expose it: {exposed}");
     }
 }

@@ -13,7 +13,7 @@ use thymesim_mem::{Arena, MemSystem, RemoteBackend, SimVec};
 use thymesim_sim::{Dur, Histogram, Time, Xoshiro256};
 
 /// Probe configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, serde::Serialize)]
 pub struct ProbeConfig {
     /// Entries in the chase chain; each entry is one cache line.
     pub lines: u64,

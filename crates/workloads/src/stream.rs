@@ -51,7 +51,7 @@ impl Kernel {
 }
 
 /// STREAM configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, serde::Serialize)]
 pub struct StreamConfig {
     /// Array length (paper: 10 000 000 → 0.08 GiB per array).
     pub elements: u64,

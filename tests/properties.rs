@@ -78,7 +78,7 @@ proptest! {
         let mut t = tb.attach.ready_at;
         let mut prev_done = Time::ZERO;
         for (i, g) in gaps.iter().enumerate() {
-            t = t + Dur::ns(*g);
+            t += Dur::ns(*g);
             let done = engine.fetch_line(t, base.offset((i as u64 % 4096) * 128));
             prop_assert!(done >= prev_done, "completions reordered");
             prop_assert!(done > t, "completion before issue");
