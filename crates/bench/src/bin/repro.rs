@@ -19,6 +19,13 @@
 //!   `--jobs 1` runs serially and produces byte-identical output).
 //! * `--no-cache` — disable the per-point memoization cache (default:
 //!   `<out>/cache`, or `results/cache` without `--out`).
+//! * `--trace[=<filter>]` — record virtual-time telemetry: one
+//!   Perfetto-loadable `<sweep>.trace.json` per sweep plus a merged
+//!   `telemetry.json`, written to `--trace-out <dir>` (default
+//!   `traces/`). The optional filter substring selects which sweeps
+//!   record. Tracing never changes `results/` — it is observational.
+//!   Cached points record nothing; pair with `--no-cache` for full
+//!   timelines.
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -64,6 +71,19 @@ fn main() {
         cache,
         progress: true,
     });
+    if let Some(filter) = trace_from_args(&args) {
+        let dir = trace_out_dir(&args);
+        eprintln!(
+            "# tracing: on (filter: {}), traces: {}",
+            filter.as_deref().unwrap_or("all sweeps"),
+            dir.display()
+        );
+        thymesim_telemetry::configure(thymesim_telemetry::TraceConfig {
+            filter,
+            dir,
+            ..Default::default()
+        });
+    }
 
     let started = Instant::now();
     match cmd {
@@ -129,6 +149,9 @@ fn main() {
             started.elapsed(),
             sweep::simulated_point_count()
         );
+        if let Some(path) = thymesim_telemetry::write_summary() {
+            eprintln!("# wrote {}", path.display());
+        }
     }
 }
 
@@ -161,6 +184,37 @@ fn jobs_from_args(args: &[String]) -> Option<usize> {
         }
     }
     None
+}
+
+/// Parse `--trace` / `--trace=<filter>`: `Some(None)` traces every
+/// sweep, `Some(Some(s))` only sweeps whose name contains `s`, `None`
+/// means tracing stays off.
+fn trace_from_args(args: &[String]) -> Option<Option<String>> {
+    for a in args {
+        if a == "--trace" {
+            return Some(None);
+        }
+        if let Some(rest) = a.strip_prefix("--trace=") {
+            return Some(Some(rest.to_string()));
+        }
+    }
+    None
+}
+
+/// Parse `--trace-out <dir>` (default `traces/`).
+fn trace_out_dir(args: &[String]) -> PathBuf {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--trace-out" {
+            if let Some(d) = it.next() {
+                return PathBuf::from(d);
+            }
+        }
+        if let Some(rest) = a.strip_prefix("--trace-out=") {
+            return PathBuf::from(rest);
+        }
+    }
+    PathBuf::from("traces")
 }
 
 /// Parse `--out <dir>`: also write each experiment's JSON there.

@@ -1,0 +1,44 @@
+//! `trace_check` — structural validator for the Chrome-trace files that
+//! `repro --trace` emits. CI runs it over `traces/*.trace.json` to
+//! guarantee every artifact loads in Perfetto: well-formed JSON, events
+//! with `ph`/`name`, nondecreasing timestamps, complete events with a
+//! nonnegative `dur`, counters with an `args` object, balanced B/E
+//! pairs per lane.
+//!
+//! ```text
+//! cargo run --release -p thymesim-bench --bin trace_check -- traces/*.trace.json
+//! ```
+//!
+//! Exit status: 0 when every file validates, 1 otherwise.
+
+use thymesim_telemetry::chrome;
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: trace_check <trace.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: unreadable: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match chrome::check(&text) {
+            Ok(stats) => println!(
+                "{path}: ok ({} events: {} spans, {} instants, {} counter samples)",
+                stats.events, stats.spans, stats.instants, stats.counters
+            ),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

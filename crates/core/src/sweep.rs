@@ -147,7 +147,13 @@ where
 
     let simulated = AtomicUsize::new(0);
     let cached = AtomicUsize::new(0);
-    let results = ordered_map(&keyed, opts.jobs, |index, (config, key)| {
+    // Telemetry: each simulated point records on its own worker thread;
+    // cache hits record nothing (the simulation never ran). Traces come
+    // back in grid order with the results, so trace files are identical
+    // across `--jobs` settings.
+    let tracing = thymesim_telemetry::sweep_traced(name);
+    let max_events = thymesim_telemetry::config().map_or(0, |c| c.max_events_per_point);
+    let pairs = ordered_map(&keyed, opts.jobs, |index, (config, key)| {
         let mut mix = SplitMix64::new(*key);
         let ctx = SweepCtx {
             index,
@@ -160,18 +166,32 @@ where
             if let Some(result) = load_cached::<R>(dir, name, *key, config) {
                 cached.fetch_add(1, Ordering::Relaxed);
                 progress(opts, name, ctx, point_started, true);
-                return result;
+                return (result, None);
             }
         }
+        if tracing {
+            thymesim_telemetry::install(thymesim_telemetry::TraceRecorder::new(index, max_events));
+        }
         let result = f(ctx, &points[index]);
+        let trace = if tracing {
+            thymesim_telemetry::take()
+        } else {
+            None
+        };
         simulated.fetch_add(1, Ordering::Relaxed);
         SIMULATED_POINTS.fetch_add(1, Ordering::Relaxed);
         if let Some(dir) = &opts.cache {
             store_cached(dir, name, *key, config, &result);
         }
         progress(opts, name, ctx, point_started, false);
-        result
+        (result, trace)
     });
+    let (results, traces): (Vec<R>, Vec<Option<thymesim_telemetry::PointTrace>>) =
+        pairs.into_iter().unzip();
+    if tracing {
+        let recorded: Vec<thymesim_telemetry::PointTrace> = traces.into_iter().flatten().collect();
+        thymesim_telemetry::export_sweep(name, total, &recorded);
+    }
 
     SweepOutcome {
         results,

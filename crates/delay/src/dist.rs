@@ -95,6 +95,7 @@ impl DistGate {
         self.next_idx += 1;
         let exit = (at + d).max2(self.last_exit);
         self.last_exit = exit;
+        thymesim_telemetry::latency("gate.delay", exit - at);
         exit
     }
 

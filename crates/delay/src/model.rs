@@ -82,7 +82,10 @@ impl<P: PeriodSource> AnalyticGate<P> {
     pub fn pass_one(&mut self, at: Time) -> Time {
         let a = self.clock.cycles_at(self.clock.next_edge(at));
         let g = self.grant_cycle(a);
-        self.clock.time_of_cycle(g + 1)
+        let t = self.clock.time_of_cycle(g + 1);
+        // Injected-delay accounting: arrival-to-crossing per beat.
+        thymesim_telemetry::latency("gate.delay", t - at);
+        t
     }
 
     /// Pass a multi-beat message (e.g. a 3-beat write packet): beats become

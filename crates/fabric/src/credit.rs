@@ -59,6 +59,8 @@ impl CreditWindow {
         };
         self.admitted += 1;
         self.wait_ps += (t - at).as_ps() as u128;
+        thymesim_telemetry::latency("credit.wait", t - at);
+        thymesim_telemetry::counter("credit.outstanding", t, self.inflight.len() as f64);
         t
     }
 

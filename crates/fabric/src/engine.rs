@@ -274,10 +274,13 @@ impl FabricEngine {
             other => panic!("outbound() does not send {other:?}"),
         };
         let t_pipe = at + self.cfg.egress_latency;
+        thymesim_telemetry::latency("fabric.egress", self.cfg.egress_latency);
         let gated = kind != PacketKind::WriteReq || self.cfg.gate_writebacks;
         let t_gate = if gated {
             self.stats.gate_beats += 1;
-            self.gate.pass(t_pipe, 1)
+            let t = self.gate.pass(t_pipe, 1);
+            thymesim_telemetry::latency("fabric.gate_wait", t - t_pipe);
+            t
         } else {
             t_pipe
         };
@@ -308,6 +311,7 @@ impl FabricEngine {
             }
         }
         let t_arrive = t + self.cfg.lender_nic_latency;
+        thymesim_telemetry::latency("fabric.wire_out", t_arrive - t_last_gate);
         (t_last_gate, t_arrive)
     }
 
@@ -344,6 +348,7 @@ impl RemoteBackend for FabricEngine {
             .unwrap_or_else(|f| panic!("NIC translation fault: {f:?}"));
         let _tag = self.alloc_tag();
         self.stats.reads += 1;
+        thymesim_telemetry::add("fabric.reads", 1);
 
         let t0 = self.window.acquire(at);
         let (_, t_lender) = self.outbound(t0, PacketKind::ReadReq);
@@ -351,8 +356,11 @@ impl RemoteBackend for FabricEngine {
             let mut bus = self.lender_bus.borrow_mut();
             bus.access(t_lender, addr, self.cfg.line_bytes).done
         };
+        thymesim_telemetry::latency("fabric.lender_bus", t_data - t_lender);
         let done = self.inbound(t_data, HEADER_BYTES + self.cfg.line_bytes);
+        thymesim_telemetry::latency("fabric.return", done - t_data);
         self.window.complete_at(done);
+        thymesim_telemetry::span("fabric", "read", at, done);
 
         let latency = done - at;
         self.stats.read_latency.record(latency.as_ps());
@@ -370,6 +378,7 @@ impl RemoteBackend for FabricEngine {
             .translate(addr)
             .unwrap_or_else(|f| panic!("NIC translation fault: {f:?}"));
         self.stats.writebacks += 1;
+        thymesim_telemetry::add("fabric.writebacks", 1);
         if self.cfg.acked_writes {
             // Strongly-ordered mode: the write takes a credit, completes at
             // the lender, and returns an ack before the credit frees.

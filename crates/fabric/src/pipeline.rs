@@ -71,7 +71,10 @@ impl EgressPipeline {
             self.sim.tick();
             cycles += 1;
         }
-        self.delivered.borrow().len()
+        let delivered = self.delivered.borrow().len();
+        thymesim_telemetry::add("pipeline.delivered_beats", delivered as u64);
+        thymesim_telemetry::add("pipeline.cycles", cycles);
+        delivered
     }
 }
 
@@ -132,7 +135,10 @@ impl IngressPipeline {
             self.sim.tick();
             cycles += 1;
         }
-        self.filled.borrow().len() + self.mmio.borrow().len()
+        let delivered = self.filled.borrow().len() + self.mmio.borrow().len();
+        thymesim_telemetry::add("pipeline.delivered_beats", delivered as u64);
+        thymesim_telemetry::add("pipeline.cycles", cycles);
+        delivered
     }
 }
 

@@ -250,6 +250,17 @@ pub fn reference_completions(
         "arrivals must be sorted"
     );
     let mut engine = Engine::new();
+    if thymesim_telemetry::enabled() {
+        // Observational hook: samples queue depth without touching sim state.
+        let mut n = 0u64;
+        engine.set_tracer(Box::new(move |at, _ev, depth| {
+            thymesim_telemetry::add("engine.events", 1);
+            if n.is_multiple_of(64) {
+                thymesim_telemetry::counter("engine.queue_depth", at, depth as f64);
+            }
+            n += 1;
+        }));
+    }
     let bus_busy =
         Dur::ps((cfg.line_bytes as f64 * 1e12 / dram.bandwidth_bytes_per_sec).round() as u64);
     let out: Rc<RefCell<Vec<Option<Time>>>> = Rc::new(RefCell::new(vec![None; arrivals.len()]));

@@ -150,11 +150,13 @@ impl<R: RemoteBackend> MemSystem<R> {
                     match self.map.region(victim) {
                         Region::Local => {
                             self.stats.local_writebacks += 1;
+                            thymesim_telemetry::add("mem.local_writebacks", 1);
                             let line = self.map.line;
                             self.local.borrow_mut().access(at, victim, line);
                         }
                         Region::Remote => {
                             self.stats.remote_writebacks += 1;
+                            thymesim_telemetry::add("mem.remote_writebacks", 1);
                             self.remote.writeback_line(at, victim);
                         }
                     }
@@ -166,15 +168,34 @@ impl<R: RemoteBackend> MemSystem<R> {
                         let line_bytes = self.map.line;
                         let done = self.local.borrow_mut().access(at, line, line_bytes).done;
                         self.stats.local_latency.record((done - at).as_ps());
+                        thymesim_telemetry::latency("mem.local_miss", done - at);
                         done
                     }
                     Region::Remote => {
                         self.stats.remote_miss += 1;
                         let done = self.remote.fetch_line(at, line);
                         self.stats.remote_latency.record((done - at).as_ps());
+                        thymesim_telemetry::latency("mem.remote_miss", done - at);
                         done
                     }
                 };
+                // Sampled hit/miss/eviction counters: emitted every 256
+                // misses so even huge runs keep a bounded timeline. The
+                // LLC-hit path itself stays probe-free — it is the
+                // hottest path in the simulator.
+                if thymesim_telemetry::enabled() {
+                    let misses = self.stats.local_miss + self.stats.remote_miss;
+                    if misses.is_multiple_of(256) {
+                        let c = self.cache.stats;
+                        thymesim_telemetry::counter("mem.cache_hits", filled, c.hits as f64);
+                        thymesim_telemetry::counter("mem.cache_misses", filled, c.misses as f64);
+                        thymesim_telemetry::counter(
+                            "mem.cache_evictions",
+                            filled,
+                            c.evictions as f64,
+                        );
+                    }
+                }
                 (filled + self.timing.llc_hit, true)
             }
         }

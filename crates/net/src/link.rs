@@ -70,6 +70,8 @@ impl SerialLink {
         self.bytes_sent += bytes;
         self.messages += 1;
         self.queue_wait_ps += (start - at).as_ps() as u128;
+        thymesim_telemetry::latency("link.queue_wait", start - at);
+        thymesim_telemetry::add("link.bytes", bytes);
         start + ser + self.cfg.propagation
     }
 

@@ -33,6 +33,7 @@ impl Switch {
 
     /// Forward a message arriving at `at` out of `out_port`.
     pub fn forward(&mut self, at: Time, out_port: usize, bytes: u64) -> Time {
+        thymesim_telemetry::add("switch.forwarded", 1);
         let queued_at = at + self.forward_latency;
         self.ports[out_port].send(queued_at, bytes)
     }

@@ -54,12 +54,18 @@ pub trait Actor {
     fn handle(&mut self, ev: Event, ctx: &mut Ctx<'_>);
 }
 
+/// Observes every dispatched event: `(dispatch time, event, queue depth
+/// after pop)`. Installed by observability layers; the engine itself
+/// never depends on them.
+pub type Tracer = Box<dyn FnMut(Time, &Event, usize)>;
+
 /// Owns the actors and the future-event list and runs the main loop.
 pub struct Engine {
     actors: Vec<Box<dyn Actor>>,
     queue: EventQueue<Event>,
     now: Time,
     processed: u64,
+    tracer: Option<Tracer>,
 }
 
 impl Default for Engine {
@@ -75,7 +81,15 @@ impl Engine {
             queue: EventQueue::new(),
             now: Time::ZERO,
             processed: 0,
+            tracer: None,
         }
+    }
+
+    /// Install a dispatch observer. Purely observational: the tracer
+    /// sees each event before its actor runs but cannot influence
+    /// scheduling, so an instrumented run is timing-identical.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
     }
 
     pub fn add_actor(&mut self, actor: Box<dyn Actor>) -> ActorId {
@@ -108,6 +122,9 @@ impl Engine {
             }
             let (at, ev) = self.queue.pop().expect("peeked event vanished");
             self.now = at;
+            if let Some(tracer) = self.tracer.as_mut() {
+                tracer(at, &ev, self.queue.len());
+            }
             let idx = ev.to.0 as usize;
             assert!(idx < self.actors.len(), "event for unknown actor {idx}");
             // Split borrow: take the actor out so it can schedule through us.
@@ -190,6 +207,49 @@ mod tests {
         // payload 5 at t=0 (a), 4 at 10 (b), 3 at 20 (a), 2 at 30, 1 at 40, 0 at 50.
         assert_eq!(n, 6);
         assert_eq!(eng.now(), Time::ns(50));
+    }
+
+    #[test]
+    fn tracer_sees_every_dispatch_without_changing_timing() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        type TraceLog = Rc<RefCell<Vec<(Time, u64, usize)>>>;
+        let run = |trace: Option<TraceLog>| {
+            let mut eng = Engine::new();
+            let a = eng.add_actor(Box::new(Ponger {
+                peer: Some(ActorId(1)),
+                latency: Dur::ns(10),
+                received: vec![],
+            }));
+            let _b = eng.add_actor(Box::new(Ponger {
+                peer: Some(ActorId(0)),
+                latency: Dur::ns(10),
+                received: vec![],
+            }));
+            if let Some(log) = trace {
+                eng.set_tracer(Box::new(move |at, ev, depth| {
+                    log.borrow_mut().push((at, ev.payload, depth));
+                }));
+            }
+            eng.post(
+                Time::ZERO,
+                Event {
+                    to: a,
+                    kind: 0,
+                    payload: 3,
+                },
+            );
+            eng.run();
+            (eng.now(), eng.events_processed())
+        };
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let traced = run(Some(Rc::clone(&log)));
+        let plain = run(None);
+        assert_eq!(traced, plain, "tracer must not perturb the simulation");
+        let log = log.borrow();
+        assert_eq!(log.len(), 4, "one tracer call per dispatched event");
+        assert_eq!(log[0], (Time::ZERO, 3, 0));
+        assert_eq!(log[3].0, Time::ns(30));
     }
 
     #[test]

@@ -210,11 +210,21 @@ impl Histogram {
 
     /// Value at quantile `q` in [0, 1]; returns a bucket lower bound, i.e.
     /// an under-estimate by at most one bucket width (≈3%).
+    ///
+    /// Edge cases are exact: an empty histogram reports 0, `q <= 0`
+    /// reports the recorded minimum and `q >= 1` the recorded maximum
+    /// (the interior bucket search would under-report the maximum by up
+    /// to one bucket width).
     pub fn quantile(&self, q: f64) -> u64 {
         if self.total == 0 {
             return 0;
         }
-        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
         let target = ((q * self.total as f64).ceil() as u64).max(1);
         let mut acc = 0;
         for (i, &c) in self.counts.iter().enumerate() {
@@ -465,6 +475,42 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn extreme_quantiles_are_exact_min_and_max() {
+        let mut h = Histogram::new();
+        // Values chosen so bucket lower bounds differ from the extremes.
+        for v in [1_000_003u64, 5_000_017, 9_000_041] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 1_000_003, "q=0 is the exact minimum");
+        assert_eq!(h.quantile(1.0), 9_000_041, "q=1 is the exact maximum");
+        assert_eq!(h.quantile(-0.5), 1_000_003, "below-range q clamps to min");
+        assert_eq!(h.quantile(1.5), 9_000_041, "above-range q clamps to max");
+        // Interior quantiles stay within the recorded range.
+        let p50 = h.quantile(0.5);
+        assert!((1_000_003..=9_000_041).contains(&p50));
+    }
+
+    #[test]
+    fn single_value_histogram_is_flat() {
+        let mut h = Histogram::new();
+        h.record(12_345);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 12_345, "q={q}");
+        }
+    }
+
+    #[test]
     fn histogram_handles_tiny_and_huge() {
         let mut h = Histogram::new();
         h.record(0);
@@ -540,6 +586,77 @@ mod tests {
         r.record(Time::us(1), 300);
         assert_eq!(r.series()[0].2, 3);
         assert_eq!(r.window(), Dur::us(5));
+    }
+
+    // Sweep-level telemetry merges per-point statistics in grid order;
+    // these properties guarantee the merge result cannot depend on that
+    // order (or any other).
+    mod merge_order {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn welford_of(xs: &[u64]) -> Welford {
+            let mut w = Welford::new();
+            for &x in xs {
+                w.push(x as f64);
+            }
+            w
+        }
+
+        fn histogram_of(xs: &[u64]) -> Histogram {
+            let mut h = Histogram::new();
+            for &x in xs {
+                h.record(x);
+            }
+            h
+        }
+
+        proptest! {
+            #[test]
+            fn prop_welford_merge_is_order_independent(
+                a in proptest::collection::vec(0u64..1_000_000, 0..100),
+                b in proptest::collection::vec(0u64..1_000_000, 0..100),
+            ) {
+                let mut ab = welford_of(&a);
+                ab.merge(&welford_of(&b));
+                let mut ba = welford_of(&b);
+                ba.merge(&welford_of(&a));
+                prop_assert_eq!(ab.count(), ba.count());
+                prop_assert_eq!(ab.min(), ba.min());
+                prop_assert_eq!(ab.max(), ba.max());
+                prop_assert!((ab.mean() - ba.mean()).abs() <= 1e-6 * (1.0 + ab.mean().abs()));
+                prop_assert!(
+                    (ab.variance() - ba.variance()).abs()
+                        <= 1e-6 * (1.0 + ab.variance().abs())
+                );
+                // Merging must also agree with pushing everything into one
+                // accumulator.
+                let whole = welford_of(&[a, b].concat());
+                prop_assert_eq!(ab.count(), whole.count());
+                prop_assert!((ab.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+            }
+
+            #[test]
+            fn prop_histogram_merge_is_order_independent(
+                a in proptest::collection::vec(0u64..u64::MAX / 2, 0..100),
+                b in proptest::collection::vec(0u64..u64::MAX / 2, 0..100),
+            ) {
+                let mut ab = histogram_of(&a);
+                ab.merge(&histogram_of(&b));
+                let mut ba = histogram_of(&b);
+                ba.merge(&histogram_of(&a));
+                prop_assert_eq!(ab.count(), ba.count());
+                prop_assert_eq!(ab.min(), ba.min());
+                prop_assert_eq!(ab.max(), ba.max());
+                prop_assert_eq!(ab.mean(), ba.mean());
+                for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+                    prop_assert_eq!(ab.quantile(q), ba.quantile(q), "q={}", q);
+                }
+                let whole = histogram_of(&[a, b].concat());
+                prop_assert_eq!(ab.count(), whole.count());
+                prop_assert_eq!(ab.quantile(0.5), whole.quantile(0.5));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! # thymesim-telemetry
+//!
+//! Zero-overhead-when-disabled observability for the whole stack, in
+//! **virtual sim time**. Probes throughout the simulator (fabric
+//! pipeline stages, credit window, delay gate, memory hierarchy, links,
+//! workload phases) call the free functions in this crate — [`span`],
+//! [`instant`], [`counter`], [`latency`], [`add`] — which forward to a
+//! thread-local [`Recorder`] when one is installed and cost a single
+//! thread-local flag read otherwise.
+//!
+//! The sweep harness (`thymesim_core::sweep`) installs a
+//! [`TraceRecorder`] around each simulated point and exports two
+//! artifacts per sweep:
+//!
+//! * `<dir>/<sweep>.trace.json` — Chrome-trace/Perfetto JSON timeline
+//!   ([`chrome`]), loadable at <https://ui.perfetto.dev>;
+//! * one cumulative `<dir>/telemetry.json` — compact per-sweep summary
+//!   of merged stage histograms and totals ([`summary`]).
+//!
+//! ## Determinism contract
+//!
+//! Telemetry is purely observational: recorders never feed data back
+//! into the simulation, so `results/` output is byte-identical whether
+//! tracing is on or off (CI-enforced). Events carry only virtual time;
+//! each point records on the one thread that simulates it and traces
+//! are assembled in grid order, so trace files are byte-identical
+//! across `--jobs` settings too.
+
+pub mod chrome;
+pub mod recorder;
+pub mod summary;
+
+pub use recorder::{NoopRecorder, PointTrace, Recorder, TraceEvent, TraceRecorder};
+pub use summary::SweepSummary;
+
+use std::cell::{Cell, RefCell};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use thymesim_sim::{Dur, Time};
+
+// ------------------------------------------------------------- config
+
+/// Process-wide tracing configuration, set once by the CLI
+/// (`repro --trace[=<filter>] [--trace-out <dir>]`).
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    /// Only sweeps whose name contains this substring record; `None`
+    /// traces every sweep.
+    pub filter: Option<String>,
+    /// Directory receiving `<sweep>.trace.json` files and the merged
+    /// `telemetry.json`. Kept separate from `results/` so result trees
+    /// stay byte-identical with tracing on.
+    pub dir: PathBuf,
+    /// Per-point cap on buffered timeline events (histograms and totals
+    /// are never capped; overflow is counted as `dropped`).
+    pub max_events_per_point: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            filter: None,
+            dir: PathBuf::from("traces"),
+            max_events_per_point: 20_000,
+        }
+    }
+}
+
+static CONFIG: Mutex<Option<TraceConfig>> = Mutex::new(None);
+static SUMMARIES: Mutex<Vec<SweepSummary>> = Mutex::new(Vec::new());
+
+/// Install the process-wide tracing configuration.
+pub fn configure(cfg: TraceConfig) {
+    *CONFIG.lock().expect("telemetry config poisoned") = Some(cfg);
+}
+
+/// Disable tracing process-wide (and forget accumulated summaries).
+pub fn disable() {
+    *CONFIG.lock().expect("telemetry config poisoned") = None;
+    SUMMARIES.lock().expect("summaries poisoned").clear();
+}
+
+/// The currently installed configuration, if tracing is on.
+pub fn config() -> Option<TraceConfig> {
+    CONFIG.lock().expect("telemetry config poisoned").clone()
+}
+
+/// Should the named sweep record? True iff tracing is configured and
+/// the filter (if any) matches.
+pub fn sweep_traced(name: &str) -> bool {
+    match &*CONFIG.lock().expect("telemetry config poisoned") {
+        Some(cfg) => cfg
+            .filter
+            .as_deref()
+            .is_none_or(|needle| name.contains(needle)),
+        None => false,
+    }
+}
+
+// ---------------------------------------------------- ambient recorder
+
+thread_local! {
+    /// Fast-path flag: probes read only this when tracing is off.
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static RECORDER: RefCell<Option<TraceRecorder>> = const { RefCell::new(None) };
+}
+
+/// Is a recorder installed on this thread? Probes use this to skip
+/// argument computation; the free functions below also check it.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Install a recorder for the current thread (one sweep point).
+pub fn install(rec: TraceRecorder) {
+    RECORDER.with(|r| *r.borrow_mut() = Some(rec));
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Remove the thread's recorder and return what it captured.
+pub fn take() -> Option<PointTrace> {
+    ENABLED.with(|e| e.set(false));
+    RECORDER
+        .with(|r| r.borrow_mut().take())
+        .map(TraceRecorder::finish)
+}
+
+#[inline]
+fn with(f: impl FnOnce(&mut TraceRecorder)) {
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow_mut().as_mut() {
+            f(rec);
+        }
+    });
+}
+
+// ------------------------------------------------------------- probes
+
+/// Record a completed interval `[start, end]` on `track`.
+#[inline]
+pub fn span(track: &'static str, name: &'static str, start: Time, end: Time) {
+    if enabled() {
+        with(|r| r.span(track, name, start, end));
+    }
+}
+
+/// Like [`span`], with one `key = value` argument.
+#[inline]
+pub fn span_arg(
+    track: &'static str,
+    name: &'static str,
+    start: Time,
+    end: Time,
+    key: &'static str,
+    value: u64,
+) {
+    if enabled() {
+        with(|r| r.span_arg(track, name, start, end, key, value));
+    }
+}
+
+/// Record a point-in-time marker.
+#[inline]
+pub fn instant(track: &'static str, name: &'static str, at: Time) {
+    if enabled() {
+        with(|r| r.instant(track, name, at));
+    }
+}
+
+/// Record a sampled counter value.
+#[inline]
+pub fn counter(name: &'static str, at: Time, value: f64) {
+    if enabled() {
+        with(|r| r.counter(name, at, value));
+    }
+}
+
+/// Record one observation of a per-stage latency.
+#[inline]
+pub fn latency(stage: &'static str, d: Dur) {
+    if enabled() {
+        with(|r| r.latency(stage, d));
+    }
+}
+
+/// Bump a monotonic total.
+#[inline]
+pub fn add(name: &'static str, delta: u64) {
+    if enabled() {
+        with(|r| r.add(name, delta));
+    }
+}
+
+// ------------------------------------------------------------- export
+
+/// Flatten a sweep name for the filesystem (same rule as the sweep
+/// cache): every non-alphanumeric character becomes `_`.
+pub fn flat_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Export one finished sweep: write its Chrome trace to
+/// `<dir>/<flat>.trace.json` and fold its summary into the process-wide
+/// accumulator (written later by [`write_summary`]). Called by the
+/// sweep harness with traces already in grid order.
+pub fn export_sweep(name: &str, points: usize, traces: &[PointTrace]) -> Option<PathBuf> {
+    let cfg = config()?;
+    std::fs::create_dir_all(&cfg.dir).expect("trace directory must be creatable");
+    let path = cfg.dir.join(format!("{}.trace.json", flat_name(name)));
+    std::fs::write(&path, chrome::render(name, traces))
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    let summary = SweepSummary::merge(name, points, traces);
+    let mut all = SUMMARIES.lock().expect("summaries poisoned");
+    // Re-running a sweep in-process (tests, repeated experiments)
+    // replaces its entry instead of duplicating it.
+    match all.iter_mut().find(|s| s.sweep == name) {
+        Some(slot) => *slot = summary,
+        None => all.push(summary),
+    }
+    Some(path)
+}
+
+/// Write the cumulative `telemetry.json` (all sweeps exported so far,
+/// in execution order). Returns the path, or `None` when tracing is off
+/// or nothing recorded.
+pub fn write_summary() -> Option<PathBuf> {
+    let cfg = config()?;
+    let all = SUMMARIES.lock().expect("summaries poisoned");
+    if all.is_empty() {
+        return None;
+    }
+    let root = serde::Value::Object(vec![
+        ("schema".into(), serde::Value::U64(1)),
+        (
+            "sweeps".into(),
+            serde::Value::Array(all.iter().map(SweepSummary::to_value).collect()),
+        ),
+    ]);
+    let path = cfg.dir.join("telemetry.json");
+    std::fs::create_dir_all(&cfg.dir).expect("trace directory must be creatable");
+    let text = serde_json::to_string_pretty(&root).expect("summary serializes");
+    std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_probes_are_inert() {
+        assert!(!enabled());
+        span("t", "s", Time::ZERO, Time::ns(1));
+        latency("s", Dur::ns(1));
+        add("c", 1);
+        assert!(take().is_none());
+    }
+
+    #[test]
+    fn install_record_take_round_trip() {
+        install(TraceRecorder::new(3, 100));
+        assert!(enabled());
+        span("t", "s", Time::ZERO, Time::ns(1));
+        latency("stage", Dur::ns(5));
+        add("c", 2);
+        let t = take().expect("recorder was installed");
+        assert!(!enabled());
+        assert_eq!(t.index, 3);
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.stages[0].0, "stage");
+        assert_eq!(t.counters, vec![("c", 2)]);
+    }
+
+    #[test]
+    fn recorders_are_thread_local() {
+        install(TraceRecorder::new(0, 100));
+        add("main", 1);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert!(!enabled(), "other threads must not see the recorder");
+                add("other", 1);
+                assert!(take().is_none());
+            });
+        });
+        let t = take().expect("main thread recorder intact");
+        assert_eq!(t.counters, vec![("main", 1)]);
+    }
+
+    #[test]
+    fn flat_name_flattens() {
+        assert_eq!(flat_name("fig2/stream-delay"), "fig2_stream_delay");
+    }
+}

@@ -1,0 +1,276 @@
+//! The [`Recorder`] trait and its two implementations: the no-op default
+//! (every method is an empty body, so an uninstrumented run pays nothing)
+//! and [`TraceRecorder`], which buffers timeline events and aggregates
+//! per-stage latency histograms for one sweep point.
+
+use thymesim_sim::{Dur, Histogram, Time};
+
+/// One timeline event, wholly in virtual (picosecond) time. Wall-clock
+/// never appears here — that is what makes traces byte-identical across
+/// `--jobs` settings and reruns.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A completed interval on a named track (Chrome `ph: "X"`).
+    Span {
+        track: &'static str,
+        name: &'static str,
+        start_ps: u64,
+        end_ps: u64,
+        /// Optional single argument (e.g. `("rep", 3)`).
+        arg: Option<(&'static str, u64)>,
+    },
+    /// A point-in-time marker (Chrome `ph: "i"`).
+    Instant {
+        track: &'static str,
+        name: &'static str,
+        at_ps: u64,
+    },
+    /// A sampled counter value (Chrome `ph: "C"`).
+    Counter {
+        name: &'static str,
+        at_ps: u64,
+        value: f64,
+    },
+}
+
+impl TraceEvent {
+    /// Timestamp used for ordering events in the exported trace.
+    pub fn ts_ps(&self) -> u64 {
+        match self {
+            TraceEvent::Span { start_ps, .. } => *start_ps,
+            TraceEvent::Instant { at_ps, .. } => *at_ps,
+            TraceEvent::Counter { at_ps, .. } => *at_ps,
+        }
+    }
+}
+
+/// Probe-facing interface. Every method has a no-op default body, so a
+/// type opting into only some probes stays zero-cost for the rest, and
+/// [`NoopRecorder`] is simply the trait with nothing overridden.
+///
+/// Probes must be *purely observational*: a recorder never hands data
+/// back to the simulation, so enabling it cannot change any result.
+pub trait Recorder {
+    /// A completed interval `[start, end]` on `track`.
+    fn span(&mut self, track: &'static str, name: &'static str, start: Time, end: Time) {
+        let _ = (track, name, start, end);
+    }
+
+    /// Like [`Recorder::span`], with one `key = value` argument.
+    fn span_arg(
+        &mut self,
+        track: &'static str,
+        name: &'static str,
+        start: Time,
+        end: Time,
+        key: &'static str,
+        value: u64,
+    ) {
+        let _ = (track, name, start, end, key, value);
+    }
+
+    /// A point-in-time marker.
+    fn instant(&mut self, track: &'static str, name: &'static str, at: Time) {
+        let _ = (track, name, at);
+    }
+
+    /// A sampled counter value (queue depth, occupancy, ...).
+    fn counter(&mut self, name: &'static str, at: Time, value: f64) {
+        let _ = (name, at, value);
+    }
+
+    /// One observation of a per-stage latency (aggregated, never capped).
+    fn latency(&mut self, stage: &'static str, d: Dur) {
+        let _ = (stage, d);
+    }
+
+    /// Bump a monotonic total by `delta`.
+    fn add(&mut self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
+}
+
+/// The trait's no-op default, reified. Exists mostly for tests and for
+/// call sites that want an explicit "recording disabled" value.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// Everything one sweep point recorded, ready for export.
+#[derive(Clone, Debug, Default)]
+pub struct PointTrace {
+    /// Grid index of the point within its sweep.
+    pub index: usize,
+    /// Timeline events in recording order (deterministic: the simulation
+    /// of a point is single-threaded).
+    pub events: Vec<TraceEvent>,
+    /// Events discarded once the per-point cap was reached.
+    pub dropped: u64,
+    /// Per-stage latency histograms, in first-observation order.
+    pub stages: Vec<(&'static str, Histogram)>,
+    /// Monotonic totals, in first-observation order.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// The recording implementation: buffers up to `max_events` timeline
+/// events (histograms and totals are never capped) for one sweep point.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    index: usize,
+    max_events: usize,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    stages: Vec<(&'static str, Histogram)>,
+    counters: Vec<(&'static str, u64)>,
+}
+
+impl TraceRecorder {
+    pub fn new(index: usize, max_events: usize) -> TraceRecorder {
+        TraceRecorder {
+            index,
+            max_events,
+            events: Vec::new(),
+            dropped: 0,
+            stages: Vec::new(),
+            counters: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.max_events {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Consume the recorder into its point trace.
+    pub fn finish(self) -> PointTrace {
+        PointTrace {
+            index: self.index,
+            events: self.events,
+            dropped: self.dropped,
+            stages: self.stages,
+            counters: self.counters,
+        }
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn span(&mut self, track: &'static str, name: &'static str, start: Time, end: Time) {
+        self.push(TraceEvent::Span {
+            track,
+            name,
+            start_ps: start.as_ps(),
+            end_ps: end.as_ps(),
+            arg: None,
+        });
+    }
+
+    fn span_arg(
+        &mut self,
+        track: &'static str,
+        name: &'static str,
+        start: Time,
+        end: Time,
+        key: &'static str,
+        value: u64,
+    ) {
+        self.push(TraceEvent::Span {
+            track,
+            name,
+            start_ps: start.as_ps(),
+            end_ps: end.as_ps(),
+            arg: Some((key, value)),
+        });
+    }
+
+    fn instant(&mut self, track: &'static str, name: &'static str, at: Time) {
+        self.push(TraceEvent::Instant {
+            track,
+            name,
+            at_ps: at.as_ps(),
+        });
+    }
+
+    fn counter(&mut self, name: &'static str, at: Time, value: f64) {
+        self.push(TraceEvent::Counter {
+            name,
+            at_ps: at.as_ps(),
+            value,
+        });
+    }
+
+    fn latency(&mut self, stage: &'static str, d: Dur) {
+        // Stage sets are small (≈ a dozen); a linear scan beats hashing
+        // and keeps first-observation order, which is deterministic
+        // because each point's simulation is single-threaded.
+        match self.stages.iter_mut().find(|(s, _)| *s == stage) {
+            Some((_, h)) => h.record(d.as_ps()),
+            None => {
+                let mut h = Histogram::new();
+                h.record(d.as_ps());
+                self.stages.push((stage, h));
+            }
+        }
+    }
+
+    fn add(&mut self, name: &'static str, delta: u64) {
+        match self.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, c)) => *c += delta,
+            None => self.counters.push((name, delta)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_recorder_accepts_everything() {
+        let mut r = NoopRecorder;
+        r.span("t", "a", Time::ZERO, Time::ns(10));
+        r.instant("t", "b", Time::ns(5));
+        r.counter("c", Time::ns(5), 1.0);
+        r.latency("s", Dur::ns(3));
+        r.add("n", 2);
+    }
+
+    #[test]
+    fn trace_recorder_buffers_and_aggregates() {
+        let mut r = TraceRecorder::new(7, 100);
+        r.span("fabric", "read", Time::ZERO, Time::ns(10));
+        r.span_arg("workload", "copy", Time::ns(1), Time::ns(9), "rep", 3);
+        r.instant("t", "mark", Time::ns(2));
+        r.counter("depth", Time::ns(2), 4.0);
+        r.latency("gate", Dur::ns(5));
+        r.latency("gate", Dur::ns(7));
+        r.latency("wire", Dur::ns(1));
+        r.add("reads", 1);
+        r.add("reads", 2);
+        let t = r.finish();
+        assert_eq!(t.index, 7);
+        assert_eq!(t.events.len(), 4);
+        assert_eq!(t.dropped, 0);
+        assert_eq!(t.stages.len(), 2);
+        assert_eq!(t.stages[0].0, "gate");
+        assert_eq!(t.stages[0].1.count(), 2);
+        assert_eq!(t.counters, vec![("reads", 3)]);
+    }
+
+    #[test]
+    fn event_cap_drops_timeline_but_not_aggregates() {
+        let mut r = TraceRecorder::new(0, 2);
+        for i in 0..5u64 {
+            r.instant("t", "e", Time::ns(i));
+            r.latency("s", Dur::ns(i + 1));
+        }
+        let t = r.finish();
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.dropped, 3);
+        assert_eq!(t.stages[0].1.count(), 5, "histograms are never capped");
+    }
+}

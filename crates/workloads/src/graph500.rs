@@ -509,6 +509,14 @@ pub fn bfs<R: RemoteBackend>(
         }
         let lvl_start = end;
         end = gang.barrier();
+        thymesim_telemetry::span_arg(
+            "workload",
+            "bfs.level",
+            lvl_start,
+            end,
+            "frontier",
+            frontier.len() as u64,
+        );
         if std::env::var("THYMESIM_BFS_TRACE").is_ok() {
             eprintln!(
                 "level: frontier {} took {} (cum {})",
@@ -520,6 +528,7 @@ pub fn bfs<R: RemoteBackend>(
         frontier = next;
     }
 
+    thymesim_telemetry::span_arg("workload", "bfs", start, end, "root", root as u64);
     TraversalRun {
         root,
         elapsed: end - start,
@@ -607,6 +616,7 @@ pub fn sssp<R: RemoteBackend>(
     }
 
     let reached = (0..g.n).filter(|&v| dist.get_raw(sys, v) != INF).count() as u64;
+    thymesim_telemetry::span_arg("workload", "sssp", start, end, "root", root as u64);
     TraversalRun {
         root,
         elapsed: end - start,

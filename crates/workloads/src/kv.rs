@@ -384,6 +384,14 @@ pub fn run_memtier<R: RemoteBackend>(
     }
 
     let elapsed = last_done - first_send;
+    thymesim_telemetry::span_arg(
+        "workload",
+        "kv.memtier",
+        first_send,
+        last_done,
+        "requests",
+        gets + sets,
+    );
     KvReport {
         requests: gets + sets,
         gets,

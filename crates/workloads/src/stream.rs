@@ -291,6 +291,14 @@ impl StreamProcess {
             let end = self.ring.horizon().max2(self.cpu_time);
             self.timings
                 .push((kernel, self.cursor.rep, end - self.kernel_start));
+            thymesim_telemetry::span_arg(
+                "workload",
+                kernel.name(),
+                self.kernel_start,
+                end,
+                "rep",
+                self.cursor.rep as u64,
+            );
             self.cpu_time = end;
             self.ring.reset(end);
             self.kernel_start = end;
