@@ -22,10 +22,22 @@
 //! * `--trace[=<filter>]` — record virtual-time telemetry: one
 //!   Perfetto-loadable `<sweep>.trace.json` per sweep plus a merged
 //!   `telemetry.json`, written to `--trace-out <dir>` (default
-//!   `traces/`). The optional filter substring selects which sweeps
-//!   record. Tracing never changes `results/` — it is observational.
+//!   `traces/`). Also emits one collapsed-stack `<sweep>.collapsed`
+//!   per sweep (render with `flamegraph.pl` / `inferno-flamegraph`)
+//!   and a merged `attribution.json` of per-stage shares and means.
+//!   The optional filter substring selects which sweeps record.
+//!   Tracing never changes `results/` — it is observational.
 //!   Cached points record nothing; pair with `--no-cache` for full
 //!   timelines.
+//! * `--baseline-record[=<path>]` — after the run, snapshot every
+//!   sweep's merged per-stage means into a baseline JSON (default
+//!   `results/baselines/<profile>.json`). Implies `--no-cache` and
+//!   stage recording (without writing trace files unless `--trace` is
+//!   also given).
+//! * `--baseline-check[=<path>]` — compare the run's stage means
+//!   against the committed baseline with per-stage tolerance bands.
+//!   Prints each offending stage delta and exits 1 on drift (2 when
+//!   the baseline is missing/malformed or pins a different command).
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -50,7 +62,11 @@ fn main() {
     }
 
     let jobs = jobs_from_args(&args).unwrap_or_else(thymesim_sim::default_jobs);
-    let cache = if args.iter().any(|a| a == "--no-cache") {
+    let baseline = baseline_from_args(&args, &profile);
+    // Cached points never run the simulator, so they record no stage
+    // histograms — baseline modes force the cache off to compare full
+    // grids.
+    let cache = if args.iter().any(|a| a == "--no-cache") || baseline.is_some() {
         None
     } else {
         let base = OUT_DIR
@@ -81,6 +97,14 @@ fn main() {
         thymesim_telemetry::configure(thymesim_telemetry::TraceConfig {
             filter,
             dir,
+            ..Default::default()
+        });
+    } else if let Some(mode) = &baseline {
+        // Baselines need the stage histograms but not the trace files:
+        // record everything in memory, write nothing under traces/.
+        eprintln!("# tracing: summary-only (for {})", mode.describe());
+        thymesim_telemetry::configure(thymesim_telemetry::TraceConfig {
+            artifacts: false,
             ..Default::default()
         });
     }
@@ -151,6 +175,119 @@ fn main() {
         );
         if let Some(path) = thymesim_telemetry::write_summary() {
             eprintln!("# wrote {}", path.display());
+        }
+        if let Some(path) = thymesim_telemetry::write_attribution() {
+            eprintln!("# wrote {}", path.display());
+        }
+        if let Some(mode) = baseline {
+            run_baseline(mode, cmd, &profile);
+        }
+    }
+}
+
+// ------------------------------------------------------------ baseline
+
+enum BaselineMode {
+    Record(PathBuf),
+    Check(PathBuf),
+}
+
+impl BaselineMode {
+    fn describe(&self) -> String {
+        match self {
+            BaselineMode::Record(p) => format!("baseline record to {}", p.display()),
+            BaselineMode::Check(p) => format!("baseline check against {}", p.display()),
+        }
+    }
+}
+
+/// Parse `--baseline-record[=path]` / `--baseline-check[=path]`. The
+/// default path keys on the profile so quick/medium/paper baselines
+/// never collide.
+fn baseline_from_args(args: &[String], profile: &Profile) -> Option<BaselineMode> {
+    let default = || PathBuf::from(format!("results/baselines/{}.json", profile.name));
+    for a in args {
+        if a == "--baseline-record" {
+            return Some(BaselineMode::Record(default()));
+        }
+        if let Some(rest) = a.strip_prefix("--baseline-record=") {
+            return Some(BaselineMode::Record(PathBuf::from(rest)));
+        }
+        if a == "--baseline-check" {
+            return Some(BaselineMode::Check(default()));
+        }
+        if let Some(rest) = a.strip_prefix("--baseline-check=") {
+            return Some(BaselineMode::Check(PathBuf::from(rest)));
+        }
+    }
+    None
+}
+
+/// Execute the baseline step after the experiments ran. `label` pins
+/// (command, profile) so a quick baseline is never compared against a
+/// paper-profile run.
+fn run_baseline(mode: BaselineMode, cmd: &str, profile: &Profile) {
+    use thymesim_telemetry::baseline::{Baseline, DEFAULT_REL_TOL};
+    let label = format!("{cmd} --profile {}", profile.name);
+    let atts = thymesim_telemetry::attributions();
+    if atts.is_empty() {
+        eprintln!("# baseline: no sweeps recorded stage data; nothing to do");
+        std::process::exit(2);
+    }
+    match mode {
+        BaselineMode::Record(path) => {
+            let b = Baseline::record(&label, &atts, DEFAULT_REL_TOL);
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir).expect("create baseline directory");
+            }
+            let text = serde_json::to_string_pretty(&b).expect("baseline serializes");
+            std::fs::write(&path, text + "\n")
+                .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            eprintln!(
+                "# baseline: recorded {} stages over {} sweeps to {}",
+                b.stage_count(),
+                b.sweeps.len(),
+                path.display()
+            );
+        }
+        BaselineMode::Check(path) => {
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!(
+                    "# baseline: cannot read {} ({e}); record one with --baseline-record",
+                    path.display()
+                );
+                std::process::exit(2);
+            });
+            let b: Baseline = serde_json::from_str(&text).unwrap_or_else(|e| {
+                eprintln!("# baseline: {} is malformed: {e}", path.display());
+                std::process::exit(2);
+            });
+            if b.command != label {
+                eprintln!(
+                    "# baseline: {} pins '{}', this run is '{label}' — refusing to compare",
+                    path.display(),
+                    b.command
+                );
+                std::process::exit(2);
+            }
+            let drifts = b.check(&atts);
+            if drifts.is_empty() {
+                eprintln!(
+                    "# baseline: OK — {} stages within tolerance of {}",
+                    b.stage_count(),
+                    path.display()
+                );
+            } else {
+                eprintln!(
+                    "# baseline: DRIFT — {} stage(s) outside tolerance of {}:",
+                    drifts.len(),
+                    path.display()
+                );
+                for d in &drifts {
+                    eprintln!("#   {d}");
+                }
+                std::process::exit(1);
+            }
         }
     }
 }

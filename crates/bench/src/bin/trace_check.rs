@@ -1,22 +1,32 @@
-//! `trace_check` — structural validator for the Chrome-trace files that
-//! `repro --trace` emits. CI runs it over `traces/*.trace.json` to
-//! guarantee every artifact loads in Perfetto: well-formed JSON, events
-//! with `ph`/`name`, nondecreasing timestamps, complete events with a
-//! nonnegative `dur`, counters with an `args` object, balanced B/E
-//! pairs per lane.
+//! `trace_check` — structural validator for every artifact that
+//! `repro --trace` emits. CI runs it over `traces/` to guarantee each
+//! file is consumable by its intended tool; the validator dispatches on
+//! the file name:
+//!
+//! * `*.trace.json` — Chrome-trace/Perfetto timelines: well-formed
+//!   JSON, events with `ph`/`name`, nondecreasing timestamps, complete
+//!   events with a nonnegative `dur`, counters with an `args` object,
+//!   balanced B/E pairs per lane.
+//! * `*.collapsed` — collapsed-stack attribution reports, in exactly
+//!   the shape `flamegraph.pl` / `inferno-flamegraph` parse:
+//!   `frame;frame;... <integer count>` per line.
+//! * `attribution.json` — per-stage shares/means: schema version,
+//!   shares in [0, 1] summing to 1 per attributed point, means
+//!   consistent with totals and counts.
 //!
 //! ```text
-//! cargo run --release -p thymesim-bench --bin trace_check -- traces/*.trace.json
+//! cargo run --release -p thymesim-bench --bin trace_check -- \
+//!     traces/*.trace.json traces/*.collapsed traces/attribution.json
 //! ```
 //!
 //! Exit status: 0 when every file validates, 1 otherwise.
 
-use thymesim_telemetry::chrome;
+use thymesim_telemetry::{attribution, chrome};
 
 fn main() {
     let files: Vec<String> = std::env::args().skip(1).collect();
     if files.is_empty() {
-        eprintln!("usage: trace_check <trace.json>...");
+        eprintln!("usage: trace_check <trace.json|*.collapsed|attribution.json>...");
         std::process::exit(2);
     }
     let mut failed = false;
@@ -29,11 +39,30 @@ fn main() {
                 continue;
             }
         };
-        match chrome::check(&text) {
-            Ok(stats) => println!(
-                "{path}: ok ({} events: {} spans, {} instants, {} counter samples)",
-                stats.events, stats.spans, stats.instants, stats.counters
-            ),
+        let verdict = if path.ends_with(".collapsed") {
+            attribution::check_collapsed(&text).map(|stats| {
+                format!(
+                    "ok ({} stacks over {} points, {} ps total)",
+                    stats.lines, stats.points, stats.total
+                )
+            })
+        } else if path.ends_with("attribution.json") {
+            attribution::check_attribution(&text).map(|stats| {
+                format!(
+                    "ok ({} sweeps, {} points, {} stage slices)",
+                    stats.sweeps, stats.points, stats.slices
+                )
+            })
+        } else {
+            chrome::check(&text).map(|stats| {
+                format!(
+                    "ok ({} events: {} spans, {} instants, {} counter samples)",
+                    stats.events, stats.spans, stats.instants, stats.counters
+                )
+            })
+        };
+        match verdict {
+            Ok(msg) => println!("{path}: {msg}"),
             Err(e) => {
                 eprintln!("{path}: INVALID: {e}");
                 failed = true;

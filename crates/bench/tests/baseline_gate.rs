@@ -1,0 +1,116 @@
+//! End-to-end exercise of the `repro --baseline-record` /
+//! `--baseline-check` stage-regression gate, through the real binary:
+//!
+//! 1. record a baseline for the pinned quick config;
+//! 2. an identical re-run passes the check (deterministic simulator);
+//! 3. perturbing one stage mean beyond tolerance makes the check exit
+//!    nonzero *naming that stage* — the negative path CI relies on;
+//! 4. a baseline pinning a different command, or a malformed file, is
+//!    refused with exit 2 rather than silently compared.
+//!
+//! Telemetry/sweep state is per-process, and each step runs a fresh
+//! `repro` process, so the steps cannot interfere with each other.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use thymesim_telemetry::baseline::Baseline;
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro runs")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn check_against(path: &Path) -> Output {
+    repro(&[
+        "validate",
+        "--profile",
+        "quick",
+        "--jobs",
+        "2",
+        &format!("--baseline-check={}", path.display()),
+    ])
+}
+
+#[test]
+fn baseline_gate_round_trip_and_negative_path() {
+    let dir = std::env::temp_dir().join(format!("thymesim-blgate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let bl: PathBuf = dir.join("quick.json");
+
+    // 1. Record.
+    let out = repro(&[
+        "validate",
+        "--profile",
+        "quick",
+        "--jobs",
+        "2",
+        &format!("--baseline-record={}", bl.display()),
+    ]);
+    assert!(out.status.success(), "record failed: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("baseline: recorded"));
+    let text = std::fs::read_to_string(&bl).expect("baseline written");
+    let base: Baseline = serde_json::from_str(&text).expect("baseline parses");
+    assert_eq!(base.command, "validate --profile quick");
+    assert!(base.stage_count() >= 6, "anatomy stages pinned");
+
+    // 2. A clean re-run is within tolerance (exactly equal, in fact).
+    let out = check_against(&bl);
+    assert!(
+        out.status.success(),
+        "clean check failed: {}",
+        stderr_of(&out)
+    );
+    assert!(stderr_of(&out).contains("baseline: OK"));
+
+    // 3. Perturb one stage mean 1.5x beyond its ±2% band: the check
+    //    must exit nonzero and name the drifted stage.
+    let mut bad = base.clone();
+    let stage = bad.sweeps[0]
+        .stages
+        .iter_mut()
+        .find(|s| s.stage == "fabric.gate_wait")
+        .expect("gate stage in baseline");
+    stage.mean_ps *= 1.5;
+    let bad_path = dir.join("bad.json");
+    std::fs::write(&bad_path, serde_json::to_string_pretty(&bad).unwrap()).unwrap();
+    let out = check_against(&bad_path);
+    assert_eq!(out.status.code(), Some(1), "drift must exit 1");
+    let err = stderr_of(&out);
+    assert!(err.contains("DRIFT"), "stderr: {err}");
+    assert!(
+        err.contains("fabric.gate_wait"),
+        "offending stage must be named: {err}"
+    );
+    assert!(err.contains("tolerance"), "delta report expected: {err}");
+
+    // 4a. A baseline recorded from a different command is refused.
+    let mut foreign = base.clone();
+    foreign.command = "fig4 --profile quick".into();
+    let foreign_path = dir.join("foreign.json");
+    std::fs::write(
+        &foreign_path,
+        serde_json::to_string_pretty(&foreign).unwrap(),
+    )
+    .unwrap();
+    let out = check_against(&foreign_path);
+    assert_eq!(out.status.code(), Some(2), "command mismatch must exit 2");
+    assert!(stderr_of(&out).contains("refusing to compare"));
+
+    // 4b. Malformed and missing files are refused too.
+    let garbled = dir.join("garbled.json");
+    std::fs::write(&garbled, "{not json").unwrap();
+    assert_eq!(check_against(&garbled).status.code(), Some(2));
+    assert_eq!(
+        check_against(&dir.join("absent.json")).status.code(),
+        Some(2)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -190,7 +190,10 @@ where
         pairs.into_iter().unzip();
     if tracing {
         let recorded: Vec<thymesim_telemetry::PointTrace> = traces.into_iter().flatten().collect();
-        thymesim_telemetry::export_sweep(name, total, &recorded);
+        // Hand the per-point config JSON along so attribution reports
+        // can tie stage shares to the knob that produced them.
+        let configs: Vec<String> = keyed.iter().map(|(config, _)| config.clone()).collect();
+        thymesim_telemetry::export_sweep(name, total, &recorded, &configs);
     }
 
     SweepOutcome {

@@ -193,6 +193,13 @@ impl Histogram {
         Dur(self.mean().round() as u64)
     }
 
+    /// Exact sum of all recorded values (histogram bucketing approximates
+    /// percentiles, never the sum). Attribution reports divide per-stage
+    /// sums by this kind of total, so it must be lossless.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     pub fn min(&self) -> u64 {
         if self.total == 0 {
             0

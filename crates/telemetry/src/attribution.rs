@@ -1,0 +1,602 @@
+//! Where-did-the-time-go attribution: fold the per-stage latency
+//! histograms of a traced sweep into (a) a collapsed-stack report that
+//! `flamegraph.pl` / `inferno` render directly and (b) a machine-readable
+//! breakdown (`attribution.json`) of per-stage totals, means, and shares
+//! for every grid point plus a sweep-merged entry.
+//!
+//! ## The read anatomy
+//!
+//! The paper's central figure decomposes one remote access into pipeline
+//! stages: credit wait → NIC egress → delay-gate wait → wire (+ lender
+//! NIC) → lender memory bus → return path. Those stages *partition* the
+//! access span, so their per-point `share`s sum to 1 (see
+//! [`READ_ANATOMY`]) and a PERIOD sweep shows the gate-wait share
+//! growing against fixed wire / lender-bus shares — the "injected delay
+//! dominates, everything else stays put" claim, now a queryable
+//! artifact. Stages outside the anatomy (local DRAM misses, link
+//! queueing, ...) are reported alongside without a share.
+//!
+//! ## Determinism
+//!
+//! Folding is order-independent: per-point entries sort by grid index,
+//! stage lists are fixed-order (anatomy pipeline order, then name-sorted
+//! others), and the merged entry is a histogram merge (itself
+//! order-independent). The artifacts are therefore byte-identical
+//! whatever order points were simulated in — `--jobs` is invisible,
+//! and the golden fixtures under `tests/golden/` stay stable.
+
+use crate::recorder::PointTrace;
+use serde::Value;
+use thymesim_sim::Histogram;
+
+/// The remote-read anatomy stages in pipeline order:
+/// `(histogram stage name, collapsed-stack leaf frame)`. Together they
+/// partition one remote read end-to-end.
+pub const READ_ANATOMY: [(&str, &str); 6] = [
+    ("credit.wait", "credit_wait"),
+    ("fabric.egress", "egress"),
+    ("fabric.gate_wait", "gate_wait"),
+    ("fabric.wire_out", "wire"),
+    ("fabric.lender_bus", "lender_bus"),
+    ("fabric.return", "return"),
+];
+
+/// The envelope stage measuring the whole read end-to-end (LLC miss to
+/// line fill), recorded by `crates/mem`. Reported as `envelope_ps` so a
+/// reader can judge anatomy coverage, but excluded from the
+/// collapsed-stack output — its time is already covered by the anatomy
+/// leaves under the `read` frame.
+pub const READ_ENVELOPE: &str = "mem.remote_miss";
+
+/// Stages excluded from the collapsed-stack output because their time is
+/// already represented by anatomy leaves: the end-to-end envelope and
+/// the delay gate's own view of the wait it injects (the same wait the
+/// fabric observes as `fabric.gate_wait`).
+const COLLAPSED_EXCLUDE: [&str; 2] = [READ_ENVELOPE, "gate.delay"];
+
+/// One stage's slice of a point (or of the sweep-merged aggregate).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageSlice {
+    /// Histogram stage name (`fabric.gate_wait`, `mem.local_miss`, ...).
+    pub stage: String,
+    /// Collapsed-stack frame path for this stage, `;`-separated
+    /// (`read;gate_wait` for anatomy stages, `mem;local_miss` style for
+    /// the rest).
+    pub frame: String,
+    pub count: u64,
+    /// Exact sum of all observations, picoseconds.
+    pub total_ps: u64,
+    pub mean_ps: f64,
+    /// Fraction of the read-anatomy total ([`PointAttribution::read_total_ps`]);
+    /// `None` outside the anatomy or when nothing was attributed.
+    pub share: Option<f64>,
+}
+
+impl StageSlice {
+    fn of(stage: &str, frame: String, h: &Histogram, read_total_ps: u64) -> StageSlice {
+        let total = clamp(h.sum());
+        let share = READ_ANATOMY.iter().any(|(name, _)| *name == stage) && read_total_ps > 0;
+        StageSlice {
+            stage: stage.to_string(),
+            frame,
+            count: h.count(),
+            total_ps: total,
+            mean_ps: h.mean(),
+            share: share.then(|| total as f64 / read_total_ps as f64),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("stage".into(), Value::Str(self.stage.clone())),
+            ("frame".into(), Value::Str(self.frame.clone())),
+            ("count".into(), Value::U64(self.count)),
+            ("total_ps".into(), Value::U64(self.total_ps)),
+            ("mean_ps".into(), Value::F64(self.mean_ps)),
+            (
+                "share".into(),
+                match self.share {
+                    Some(s) => Value::F64(s),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Attribution for one sweep point (or, with `index: None`, for the
+/// whole grid merged).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PointAttribution {
+    /// Grid index; `None` for the sweep-merged entry.
+    pub index: Option<usize>,
+    /// Compact JSON of the point's configuration, when the sweep
+    /// harness provided it (so a reader can tie shares to e.g. PERIOD).
+    pub config: Option<String>,
+    /// Sum over anatomy-stage totals — the attributed whole-read time.
+    pub read_total_ps: u64,
+    /// Total of the envelope stage ([`READ_ENVELOPE`]), when recorded.
+    pub envelope_ps: Option<u64>,
+    /// Anatomy slices in pipeline order (only stages that recorded).
+    pub anatomy: Vec<StageSlice>,
+    /// Every other recorded stage, name-sorted.
+    pub other: Vec<StageSlice>,
+}
+
+impl PointAttribution {
+    /// Fold one stage set. `stages` may arrive in any order; output
+    /// ordering is fixed (see module docs).
+    fn fold<'a, I>(index: Option<usize>, config: Option<String>, stages: I) -> PointAttribution
+    where
+        I: IntoIterator<Item = (&'a str, &'a Histogram)>,
+    {
+        let stages: Vec<(&str, &Histogram)> = stages.into_iter().collect();
+        let read_total: u128 = READ_ANATOMY
+            .iter()
+            .filter_map(|(name, _)| stages.iter().find(|(n, _)| n == name))
+            .map(|(_, h)| h.sum())
+            .sum();
+        let read_total_ps = clamp(read_total);
+        let anatomy: Vec<StageSlice> = READ_ANATOMY
+            .iter()
+            .filter_map(|(name, leaf)| {
+                stages
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, h)| StageSlice::of(name, format!("read;{leaf}"), h, read_total_ps))
+            })
+            .collect();
+        let mut other: Vec<StageSlice> = stages
+            .iter()
+            .filter(|(n, _)| !READ_ANATOMY.iter().any(|(name, _)| name == n))
+            .map(|(n, h)| StageSlice::of(n, n.replace('.', ";"), h, read_total_ps))
+            .collect();
+        other.sort_by(|a, b| a.stage.cmp(&b.stage));
+        let envelope_ps = stages
+            .iter()
+            .find(|(n, _)| *n == READ_ENVELOPE)
+            .map(|(_, h)| clamp(h.sum()));
+        PointAttribution {
+            index,
+            config,
+            read_total_ps,
+            envelope_ps,
+            anatomy,
+            other,
+        }
+    }
+
+    /// Every slice, anatomy first.
+    pub fn slices(&self) -> impl Iterator<Item = &StageSlice> {
+        self.anatomy.iter().chain(&self.other)
+    }
+
+    /// Look up one stage's slice by histogram name.
+    pub fn slice(&self, stage: &str) -> Option<&StageSlice> {
+        self.slices().find(|s| s.stage == stage)
+    }
+
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        if let Some(i) = self.index {
+            fields.push(("index".into(), Value::U64(i as u64)));
+        }
+        if let Some(c) = &self.config {
+            fields.push(("config".into(), Value::Str(c.clone())));
+        }
+        fields.push(("read_total_ps".into(), Value::U64(self.read_total_ps)));
+        fields.push((
+            "envelope_ps".into(),
+            match self.envelope_ps {
+                Some(e) => Value::U64(e),
+                None => Value::Null,
+            },
+        ));
+        fields.push((
+            "anatomy".into(),
+            Value::Array(self.anatomy.iter().map(StageSlice::to_value).collect()),
+        ));
+        fields.push((
+            "other".into(),
+            Value::Array(self.other.iter().map(StageSlice::to_value).collect()),
+        ));
+        Value::Object(fields)
+    }
+}
+
+/// Attribution for one sweep: every traced point plus the grid-merged
+/// aggregate.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SweepAttribution {
+    pub sweep: String,
+    /// Grid size of the sweep (points that hit the cache record
+    /// nothing, so `per_point` may be shorter).
+    pub points: usize,
+    /// Traced points, sorted by grid index.
+    pub per_point: Vec<PointAttribution>,
+    /// All traced points merged (histogram merge, order-independent).
+    pub merged: PointAttribution,
+}
+
+impl SweepAttribution {
+    /// Fold a sweep's traced points. `configs[i]` is the compact JSON
+    /// of grid point `i` (pass `&[]` when unavailable).
+    pub fn fold(
+        sweep: &str,
+        points: usize,
+        traces: &[PointTrace],
+        configs: &[String],
+    ) -> SweepAttribution {
+        let mut per_point: Vec<PointAttribution> = traces
+            .iter()
+            .map(|t| {
+                PointAttribution::fold(
+                    Some(t.index),
+                    configs.get(t.index).cloned(),
+                    t.stages.iter().map(|(n, h)| (*n, h)),
+                )
+            })
+            .collect();
+        per_point.sort_by_key(|p| p.index);
+        let mut merged_stages: Vec<(&'static str, Histogram)> = Vec::new();
+        for t in traces {
+            for (name, h) in &t.stages {
+                match merged_stages.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, acc)) => acc.merge(h),
+                    None => merged_stages.push((name, h.clone())),
+                }
+            }
+        }
+        let merged = PointAttribution::fold(None, None, merged_stages.iter().map(|(n, h)| (*n, h)));
+        SweepAttribution {
+            sweep: sweep.to_string(),
+            points,
+            per_point,
+            merged,
+        }
+    }
+
+    /// Collapsed-stack report: one line per (point, stage), in the
+    /// format `flamegraph.pl` / `inferno-flamegraph` consume verbatim —
+    /// `frame;frame;...;frame <count>` with the stage's total
+    /// picoseconds as the count. Anatomy stages nest under a `read`
+    /// frame so the rendered tower's width is the whole-read time;
+    /// envelope/alias stages are excluded (their time is already in the
+    /// anatomy leaves).
+    pub fn collapsed(&self) -> String {
+        let root = crate::flat_name(&self.sweep);
+        let mut out = String::new();
+        for p in &self.per_point {
+            let Some(idx) = p.index else { continue };
+            for s in p.slices() {
+                if COLLAPSED_EXCLUDE.contains(&s.stage.as_str()) {
+                    continue;
+                }
+                out.push_str(&format!("{root};point_{idx};{} {}\n", s.frame, s.total_ps));
+            }
+        }
+        out
+    }
+
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("sweep".into(), Value::Str(self.sweep.clone())),
+            ("points".into(), Value::U64(self.points as u64)),
+            (
+                "traced_points".into(),
+                Value::U64(self.per_point.len() as u64),
+            ),
+            (
+                "per_point".into(),
+                Value::Array(
+                    self.per_point
+                        .iter()
+                        .map(PointAttribution::to_value)
+                        .collect(),
+                ),
+            ),
+            ("merged".into(), self.merged.to_value()),
+        ])
+    }
+}
+
+fn clamp(v: u128) -> u64 {
+    u64::try_from(v).unwrap_or(u64::MAX)
+}
+
+// ---------------------------------------------------------- validators
+
+/// Summary of a validated collapsed-stack file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CollapsedCheck {
+    pub lines: usize,
+    /// Distinct `root;point` prefixes.
+    pub points: usize,
+    /// Sum of all counts.
+    pub total: u128,
+}
+
+/// Structurally validate collapsed-stack text the way `flamegraph.pl`
+/// parses it: every line is `frame;frame;... <integer>`, frames are
+/// non-empty and space-free, at least two frames deep. Empty input is
+/// valid (a sweep whose every point hit the cache records nothing).
+pub fn check_collapsed(text: &str) -> Result<CollapsedCheck, String> {
+    let mut out = CollapsedCheck::default();
+    let mut points: Vec<String> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let fail = |msg: String| Err(format!("line {}: {msg}", i + 1));
+        let Some((stack, count)) = line.rsplit_once(' ') else {
+            return fail(format!("no space-separated count in {line:?}"));
+        };
+        let Ok(n) = count.parse::<u64>() else {
+            return fail(format!("count {count:?} is not an unsigned integer"));
+        };
+        let frames: Vec<&str> = stack.split(';').collect();
+        if frames.len() < 2 {
+            return fail(format!("stack {stack:?} has fewer than two frames"));
+        }
+        if frames.iter().any(|f| f.is_empty() || f.contains(' ')) {
+            return fail(format!(
+                "stack {stack:?} has an empty or space-bearing frame"
+            ));
+        }
+        let point = format!("{};{}", frames[0], frames[1]);
+        if !points.contains(&point) {
+            points.push(point);
+        }
+        out.lines += 1;
+        out.total += n as u128;
+    }
+    out.points = points.len();
+    Ok(out)
+}
+
+/// Summary of a validated `attribution.json`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AttributionCheck {
+    pub sweeps: usize,
+    pub points: usize,
+    pub slices: usize,
+}
+
+/// Structurally validate an `attribution.json`: schema version, shares
+/// in [0, 1] summing to 1 over each attributed point's anatomy, means
+/// consistent with totals and counts.
+pub fn check_attribution(text: &str) -> Result<AttributionCheck, String> {
+    let root: Value = serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    if root.get("schema").and_then(Value::as_u64) != Some(1) {
+        return Err("missing or unknown schema version".into());
+    }
+    let sweeps = root
+        .get("sweeps")
+        .and_then(Value::as_array)
+        .ok_or("missing sweeps array")?;
+    let mut out = AttributionCheck {
+        sweeps: sweeps.len(),
+        ..AttributionCheck::default()
+    };
+    for sweep in sweeps {
+        let name = sweep
+            .get("sweep")
+            .and_then(Value::as_str)
+            .ok_or("sweep entry missing name")?;
+        let per_point = sweep
+            .get("per_point")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("{name}: missing per_point array"))?;
+        let merged = sweep
+            .get("merged")
+            .ok_or_else(|| format!("{name}: missing merged entry"))?;
+        for p in per_point.iter().chain(std::iter::once(merged)) {
+            check_point(name, p)?;
+            out.slices += p
+                .get("anatomy")
+                .and_then(Value::as_array)
+                .map_or(0, <[_]>::len)
+                + p.get("other")
+                    .and_then(Value::as_array)
+                    .map_or(0, <[_]>::len);
+        }
+        out.points += per_point.len();
+    }
+    Ok(out)
+}
+
+fn check_point(sweep: &str, p: &Value) -> Result<(), String> {
+    let read_total = p
+        .get("read_total_ps")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{sweep}: point missing read_total_ps"))?;
+    let anatomy = p
+        .get("anatomy")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{sweep}: point missing anatomy array"))?;
+    let mut share_sum = 0.0;
+    let mut total_sum = 0u128;
+    for s in anatomy.iter().chain(
+        p.get("other")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+            .iter(),
+    ) {
+        let stage = s.get("stage").and_then(Value::as_str).unwrap_or("?");
+        let count = s
+            .get("count")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{sweep}/{stage}: missing count"))?;
+        let total = s
+            .get("total_ps")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{sweep}/{stage}: missing total_ps"))?;
+        let mean = s
+            .get("mean_ps")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{sweep}/{stage}: missing mean_ps"))?;
+        if count > 0 {
+            let expect = total as f64 / count as f64;
+            if (mean - expect).abs() > 1e-6 * (1.0 + expect) {
+                return Err(format!(
+                    "{sweep}/{stage}: mean {mean} inconsistent with total/count {expect}"
+                ));
+            }
+        }
+        if let Some(share) = s.get("share").and_then(Value::as_f64) {
+            if !(0.0..=1.0).contains(&share) {
+                return Err(format!("{sweep}/{stage}: share {share} outside [0, 1]"));
+            }
+            share_sum += share;
+            total_sum += total as u128;
+        }
+    }
+    if read_total > 0 {
+        if (share_sum - 1.0).abs() > 1e-9 {
+            return Err(format!(
+                "{sweep}: anatomy shares sum to {share_sum}, expected 1"
+            ));
+        }
+        if total_sum != read_total as u128 {
+            return Err(format!(
+                "{sweep}: anatomy totals sum to {total_sum}, read_total_ps is {read_total}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Recorder, TraceRecorder};
+    use thymesim_sim::Dur;
+
+    /// A point whose anatomy stages are (base, 2·base, ...·base) and
+    /// whose envelope is their exact sum, plus one non-anatomy stage.
+    fn point(index: usize, base: u64) -> PointTrace {
+        let mut r = TraceRecorder::new(index, 10);
+        let mut whole = 0;
+        for (i, (name, _)) in READ_ANATOMY.iter().enumerate() {
+            let d = base * (i as u64 + 1);
+            whole += d;
+            // SAFETY of &'static: anatomy names are 'static consts.
+            r.latency(name, Dur::ns(d));
+        }
+        r.latency(READ_ENVELOPE, Dur::ns(whole));
+        r.latency("mem.local_miss", Dur::ns(base));
+        r.finish()
+    }
+
+    #[test]
+    fn shares_partition_the_read() {
+        let att = SweepAttribution::fold("sw", 2, &[point(0, 10), point(1, 7)], &[]);
+        for p in att.per_point.iter().chain(std::iter::once(&att.merged)) {
+            let total: u64 = p.anatomy.iter().map(|s| s.total_ps).sum();
+            assert_eq!(total, p.read_total_ps);
+            assert_eq!(
+                p.envelope_ps,
+                Some(p.read_total_ps),
+                "anatomy covers the envelope"
+            );
+            let share_sum: f64 = p.anatomy.iter().map(|s| s.share.unwrap()).sum();
+            assert!((share_sum - 1.0).abs() < 1e-12, "shares sum to {share_sum}");
+        }
+        // Anatomy is pipeline-ordered, others name-sorted.
+        assert_eq!(att.merged.anatomy[0].stage, "credit.wait");
+        assert_eq!(att.merged.anatomy[2].frame, "read;gate_wait");
+        assert_eq!(att.merged.other[0].stage, "mem.local_miss");
+        assert_eq!(att.merged.other[0].frame, "mem;local_miss");
+        assert!(att.merged.other[0].share.is_none());
+    }
+
+    #[test]
+    fn fold_is_order_independent() {
+        let a = SweepAttribution::fold("sw", 2, &[point(0, 10), point(1, 7)], &[]);
+        let b = SweepAttribution::fold("sw", 2, &[point(1, 7), point(0, 10)], &[]);
+        assert_eq!(a, b);
+        assert_eq!(a.collapsed(), b.collapsed());
+        assert_eq!(
+            serde_json::to_string(&a.to_value()).unwrap(),
+            serde_json::to_string(&b.to_value()).unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_and_single_point_folds_are_sane() {
+        let empty = SweepAttribution::fold("sw", 0, &[], &[]);
+        assert_eq!(empty.per_point.len(), 0);
+        assert_eq!(empty.merged.read_total_ps, 0);
+        assert_eq!(empty.collapsed(), "");
+        assert_eq!(
+            check_collapsed(&empty.collapsed()),
+            Ok(CollapsedCheck::default())
+        );
+
+        let one = SweepAttribution::fold("sw", 1, &[point(0, 3)], &[]);
+        assert_eq!(one.per_point.len(), 1);
+        assert_eq!(one.per_point[0], {
+            let mut m = one.merged.clone();
+            m.index = Some(0);
+            m
+        });
+    }
+
+    #[test]
+    fn collapsed_output_is_flamegraph_shaped() {
+        let att = SweepAttribution::fold("fig2/sweep", 2, &[point(0, 10), point(1, 7)], &[]);
+        let text = att.collapsed();
+        let stats = check_collapsed(&text).expect("collapsed output validates");
+        // 6 anatomy + 1 local-miss line per point; envelope excluded.
+        assert_eq!(stats.lines, 14);
+        assert_eq!(stats.points, 2);
+        assert!(text.contains("fig2_sweep;point_0;read;gate_wait "));
+        assert!(text.contains("fig2_sweep;point_1;mem;local_miss "));
+        assert!(
+            !text.contains("remote_miss"),
+            "envelope stays out of the graph"
+        );
+    }
+
+    #[test]
+    fn configs_attach_to_points() {
+        let configs = vec!["{\"period\":1}".to_string(), "{\"period\":2}".to_string()];
+        let att = SweepAttribution::fold("sw", 2, &[point(1, 7), point(0, 10)], &configs);
+        assert_eq!(att.per_point[0].config.as_deref(), Some("{\"period\":1}"));
+        assert_eq!(att.per_point[1].config.as_deref(), Some("{\"period\":2}"));
+        assert_eq!(att.merged.config, None);
+    }
+
+    #[test]
+    fn checker_rejects_malformed_collapsed() {
+        assert!(check_collapsed("noframe\n").is_err());
+        assert!(check_collapsed("a;b notanumber\n").is_err());
+        assert!(
+            check_collapsed("toplevel 5\n").is_err(),
+            "one frame is too shallow"
+        );
+        assert!(check_collapsed("a;;b 5\n").is_err(), "empty frame");
+        assert!(
+            check_collapsed("a;b c;d 5\n").is_err(),
+            "space inside frame"
+        );
+        assert!(check_collapsed("a;b;c 5\n").is_ok());
+    }
+
+    #[test]
+    fn attribution_json_round_trips_the_checker() {
+        let att = SweepAttribution::fold("sw", 2, &[point(0, 10), point(1, 7)], &[]);
+        let root = Value::Object(vec![
+            ("schema".into(), Value::U64(1)),
+            ("sweeps".into(), Value::Array(vec![att.to_value()])),
+        ]);
+        let text = serde_json::to_string_pretty(&root).unwrap();
+        let stats = check_attribution(&text).expect("valid attribution.json");
+        assert_eq!(stats.sweeps, 1);
+        assert_eq!(stats.points, 2);
+        assert!(stats.slices > 0);
+        // A perturbed share must be caught.
+        let broken = text.replace("\"share\": 0.0", "\"share\": 7.5");
+        if broken != text {
+            assert!(check_attribution(&broken).is_err());
+        }
+        assert!(check_attribution("{}").is_err());
+    }
+}

@@ -1,0 +1,334 @@
+//! Per-stage regression baselines: record the merged stage means of a
+//! pinned configuration, commit the file, and gate CI on drift.
+//!
+//! `repro --baseline-record` snapshots every sweep's merged stage means
+//! (from the attribution fold) into a JSON baseline;
+//! `repro --baseline-check` re-runs the same pinned configuration and
+//! compares against the committed file with per-stage tolerance bands,
+//! exiting nonzero and naming the offending stages on drift. Because
+//! the simulator is deterministic, a clean tree reproduces the baseline
+//! exactly — the tolerance band exists so that *intentional* model
+//! changes smaller than the band don't force a re-record, while
+//! anything larger fails loudly instead of silently shifting every
+//! downstream figure.
+//!
+//! The baseline pins the command it was recorded from (e.g.
+//! `validate --profile quick`); checking under a different command is
+//! refused rather than compared apples-to-oranges.
+
+use crate::attribution::SweepAttribution;
+use serde::{Deserialize, Serialize};
+
+/// Bump when the baseline file format changes.
+pub const BASELINE_SCHEMA: u64 = 1;
+
+/// Default relative tolerance band on stage means and counts (±2%).
+pub const DEFAULT_REL_TOL: f64 = 0.02;
+
+/// One stage's pinned expectation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BaselineStage {
+    pub stage: String,
+    pub mean_ps: f64,
+    pub count: u64,
+    /// Relative tolerance band for this stage (fraction, not percent).
+    pub rel_tol: f64,
+}
+
+/// One sweep's pinned stage set.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BaselineSweep {
+    pub sweep: String,
+    pub stages: Vec<BaselineStage>,
+}
+
+/// A committed per-stage regression baseline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Baseline {
+    pub schema: u64,
+    /// The pinned `repro` invocation this baseline was recorded from.
+    pub command: String,
+    pub default_rel_tol: f64,
+    pub sweeps: Vec<BaselineSweep>,
+}
+
+impl Baseline {
+    /// Snapshot the merged stage means of every folded sweep.
+    pub fn record(command: &str, atts: &[SweepAttribution], rel_tol: f64) -> Baseline {
+        let mut sweeps: Vec<BaselineSweep> = atts
+            .iter()
+            .map(|att| BaselineSweep {
+                sweep: att.sweep.clone(),
+                stages: {
+                    let mut stages: Vec<BaselineStage> = att
+                        .merged
+                        .slices()
+                        .map(|s| BaselineStage {
+                            stage: s.stage.clone(),
+                            mean_ps: s.mean_ps,
+                            count: s.count,
+                            rel_tol,
+                        })
+                        .collect();
+                    stages.sort_by(|a, b| a.stage.cmp(&b.stage));
+                    stages
+                },
+            })
+            .collect();
+        sweeps.sort_by(|a, b| a.sweep.cmp(&b.sweep));
+        Baseline {
+            schema: BASELINE_SCHEMA,
+            command: command.to_string(),
+            default_rel_tol: rel_tol,
+            sweeps,
+        }
+    }
+
+    /// Compare folded sweeps against this baseline. Empty result means
+    /// every pinned stage is within its tolerance band and no stage
+    /// appeared or disappeared.
+    pub fn check(&self, atts: &[SweepAttribution]) -> Vec<Drift> {
+        let mut drifts = Vec::new();
+        for base in &self.sweeps {
+            let Some(att) = atts.iter().find(|a| a.sweep == base.sweep) else {
+                drifts.push(Drift {
+                    sweep: base.sweep.clone(),
+                    stage: "*".into(),
+                    kind: DriftKind::MissingSweep,
+                });
+                continue;
+            };
+            for bs in &base.stages {
+                let Some(slice) = att.merged.slice(&bs.stage) else {
+                    drifts.push(Drift {
+                        sweep: base.sweep.clone(),
+                        stage: bs.stage.clone(),
+                        kind: DriftKind::MissingStage {
+                            baseline_ps: bs.mean_ps,
+                        },
+                    });
+                    continue;
+                };
+                let mean_delta = rel_delta(slice.mean_ps, bs.mean_ps);
+                if mean_delta > bs.rel_tol {
+                    drifts.push(Drift {
+                        sweep: base.sweep.clone(),
+                        stage: bs.stage.clone(),
+                        kind: DriftKind::MeanDrift {
+                            baseline_ps: bs.mean_ps,
+                            actual_ps: slice.mean_ps,
+                            rel_delta: mean_delta,
+                            rel_tol: bs.rel_tol,
+                        },
+                    });
+                }
+                let count_delta = rel_delta(slice.count as f64, bs.count as f64);
+                if count_delta > bs.rel_tol {
+                    drifts.push(Drift {
+                        sweep: base.sweep.clone(),
+                        stage: bs.stage.clone(),
+                        kind: DriftKind::CountDrift {
+                            baseline: bs.count,
+                            actual: slice.count,
+                            rel_delta: count_delta,
+                            rel_tol: bs.rel_tol,
+                        },
+                    });
+                }
+            }
+            // A stage the baseline has never seen is drift too — the
+            // model grew a probe; re-record to bless it.
+            for slice in att.merged.slices() {
+                if !base.stages.iter().any(|bs| bs.stage == slice.stage) {
+                    drifts.push(Drift {
+                        sweep: base.sweep.clone(),
+                        stage: slice.stage.clone(),
+                        kind: DriftKind::NewStage {
+                            actual_ps: slice.mean_ps,
+                        },
+                    });
+                }
+            }
+        }
+        drifts
+    }
+
+    /// Total pinned stages across all sweeps.
+    pub fn stage_count(&self) -> usize {
+        self.sweeps.iter().map(|s| s.stages.len()).sum()
+    }
+}
+
+/// Relative deviation of `actual` from `baseline`, with a 1 ps floor on
+/// the denominator so all-zero stages compare cleanly.
+fn rel_delta(actual: f64, baseline: f64) -> f64 {
+    (actual - baseline).abs() / baseline.abs().max(1.0)
+}
+
+/// One detected regression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Drift {
+    pub sweep: String,
+    pub stage: String,
+    pub kind: DriftKind,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum DriftKind {
+    /// The checked run never executed the pinned sweep.
+    MissingSweep,
+    /// The pinned stage recorded nothing.
+    MissingStage { baseline_ps: f64 },
+    /// A stage recorded that the baseline has never seen.
+    NewStage { actual_ps: f64 },
+    MeanDrift {
+        baseline_ps: f64,
+        actual_ps: f64,
+        rel_delta: f64,
+        rel_tol: f64,
+    },
+    CountDrift {
+        baseline: u64,
+        actual: u64,
+        rel_delta: f64,
+        rel_tol: f64,
+    },
+}
+
+impl std::fmt::Display for Drift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} / {}: ", self.sweep, self.stage)?;
+        match &self.kind {
+            DriftKind::MissingSweep => write!(f, "sweep missing from the checked run"),
+            DriftKind::MissingStage { baseline_ps } => write!(
+                f,
+                "stage recorded nothing (baseline mean {baseline_ps:.1} ps)"
+            ),
+            DriftKind::NewStage { actual_ps } => write!(
+                f,
+                "new stage not in the baseline (mean {actual_ps:.1} ps) — re-record to bless"
+            ),
+            DriftKind::MeanDrift {
+                baseline_ps,
+                actual_ps,
+                rel_delta,
+                rel_tol,
+            } => write!(
+                f,
+                "mean {actual_ps:.1} ps vs baseline {baseline_ps:.1} ps \
+                 ({:+.2}%, tolerance ±{:.2}%)",
+                rel_delta * 100.0 * (actual_ps - baseline_ps).signum(),
+                rel_tol * 100.0
+            ),
+            DriftKind::CountDrift {
+                baseline,
+                actual,
+                rel_delta,
+                rel_tol,
+            } => write!(
+                f,
+                "count {actual} vs baseline {baseline} ({:+.2}%, tolerance ±{:.2}%)",
+                rel_delta * 100.0 * if actual >= baseline { 1.0 } else { -1.0 },
+                rel_tol * 100.0
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribution::READ_ANATOMY;
+    use crate::recorder::{PointTrace, Recorder, TraceRecorder};
+    use thymesim_sim::Dur;
+
+    fn point(index: usize, base: u64) -> PointTrace {
+        let mut r = TraceRecorder::new(index, 10);
+        for (i, (name, _)) in READ_ANATOMY.iter().enumerate() {
+            r.latency(name, Dur::ns(base * (i as u64 + 1)));
+        }
+        r.finish()
+    }
+
+    fn folded(base: u64) -> Vec<SweepAttribution> {
+        vec![SweepAttribution::fold(
+            "sw",
+            2,
+            &[point(0, base), point(1, base + 1)],
+            &[],
+        )]
+    }
+
+    #[test]
+    fn identical_run_is_within_tolerance() {
+        let atts = folded(10);
+        let b = Baseline::record("validate --profile quick", &atts, DEFAULT_REL_TOL);
+        assert_eq!(b.schema, BASELINE_SCHEMA);
+        assert_eq!(b.stage_count(), 6);
+        assert!(b.check(&atts).is_empty());
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let b = Baseline::record("validate --profile quick", &folded(10), DEFAULT_REL_TOL);
+        let text = serde_json::to_string_pretty(&b).unwrap();
+        let back: Baseline = serde_json::from_str(&text).unwrap();
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn drifted_mean_is_named() {
+        let b = Baseline::record("cmd", &folded(10), DEFAULT_REL_TOL);
+        // 50% larger stage latencies everywhere.
+        let drifts = b.check(&folded(15));
+        assert!(!drifts.is_empty());
+        assert!(drifts.iter().any(|d| d.stage == "fabric.gate_wait"));
+        let msg = drifts[0].to_string();
+        assert!(msg.contains("tolerance"), "humane message: {msg}");
+        // Counts were unchanged, so every drift is a mean drift.
+        assert!(drifts
+            .iter()
+            .all(|d| matches!(d.kind, DriftKind::MeanDrift { .. })));
+    }
+
+    #[test]
+    fn missing_and_new_stages_are_drift() {
+        let atts = folded(10);
+        let mut b = Baseline::record("cmd", &atts, DEFAULT_REL_TOL);
+        b.sweeps[0].stages.push(BaselineStage {
+            stage: "ghost.stage".into(),
+            mean_ps: 5.0,
+            count: 1,
+            rel_tol: DEFAULT_REL_TOL,
+        });
+        let drifts = b.check(&atts);
+        assert!(drifts
+            .iter()
+            .any(|d| d.stage == "ghost.stage" && matches!(d.kind, DriftKind::MissingStage { .. })));
+
+        let b = Baseline::record("cmd", &atts, DEFAULT_REL_TOL);
+        let mut grown = atts.clone();
+        // Simulate a new probe appearing.
+        let mut r = TraceRecorder::new(0, 10);
+        r.latency("brand.new", Dur::ns(3));
+        grown[0] = SweepAttribution::fold("sw", 2, &[point(0, 10), point(1, 11), r.finish()], &[]);
+        let drifts = b.check(&grown);
+        assert!(drifts
+            .iter()
+            .any(|d| d.stage == "brand.new" && matches!(d.kind, DriftKind::NewStage { .. })));
+    }
+
+    #[test]
+    fn missing_sweep_is_drift() {
+        let b = Baseline::record("cmd", &folded(10), DEFAULT_REL_TOL);
+        let drifts = b.check(&[]);
+        assert_eq!(drifts.len(), 1);
+        assert!(matches!(drifts[0].kind, DriftKind::MissingSweep));
+    }
+
+    #[test]
+    fn zero_mean_stages_compare_cleanly() {
+        assert_eq!(rel_delta(0.0, 0.0), 0.0);
+        assert!(rel_delta(0.5, 0.0) <= 0.5, "1 ps floor keeps this finite");
+    }
+}

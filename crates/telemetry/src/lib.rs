@@ -26,10 +26,14 @@
 //! are assembled in grid order, so trace files are byte-identical
 //! across `--jobs` settings too.
 
+pub mod attribution;
+pub mod baseline;
 pub mod chrome;
 pub mod recorder;
 pub mod summary;
 
+pub use attribution::{PointAttribution, StageSlice, SweepAttribution};
+pub use baseline::{Baseline, Drift};
 pub use recorder::{NoopRecorder, PointTrace, Recorder, TraceEvent, TraceRecorder};
 pub use summary::SweepSummary;
 
@@ -54,6 +58,12 @@ pub struct TraceConfig {
     /// Per-point cap on buffered timeline events (histograms and totals
     /// are never capped; overflow is counted as `dropped`).
     pub max_events_per_point: usize,
+    /// Write per-sweep artifact files (`<sweep>.trace.json`,
+    /// `<sweep>.collapsed`, `telemetry.json`, `attribution.json`)?
+    /// `false` runs the recorders and accumulates summaries /
+    /// attributions in memory only — baseline record/check mode uses
+    /// this to gate stage means without touching the filesystem.
+    pub artifacts: bool,
 }
 
 impl Default for TraceConfig {
@@ -62,22 +72,26 @@ impl Default for TraceConfig {
             filter: None,
             dir: PathBuf::from("traces"),
             max_events_per_point: 20_000,
+            artifacts: true,
         }
     }
 }
 
 static CONFIG: Mutex<Option<TraceConfig>> = Mutex::new(None);
 static SUMMARIES: Mutex<Vec<SweepSummary>> = Mutex::new(Vec::new());
+static ATTRIBUTIONS: Mutex<Vec<SweepAttribution>> = Mutex::new(Vec::new());
 
 /// Install the process-wide tracing configuration.
 pub fn configure(cfg: TraceConfig) {
     *CONFIG.lock().expect("telemetry config poisoned") = Some(cfg);
 }
 
-/// Disable tracing process-wide (and forget accumulated summaries).
+/// Disable tracing process-wide (and forget accumulated summaries and
+/// attributions).
 pub fn disable() {
     *CONFIG.lock().expect("telemetry config poisoned") = None;
     SUMMARIES.lock().expect("summaries poisoned").clear();
+    ATTRIBUTIONS.lock().expect("attributions poisoned").clear();
 }
 
 /// The currently installed configuration, if tracing is on.
@@ -203,15 +217,29 @@ pub fn flat_name(name: &str) -> String {
 }
 
 /// Export one finished sweep: write its Chrome trace to
-/// `<dir>/<flat>.trace.json` and fold its summary into the process-wide
-/// accumulator (written later by [`write_summary`]). Called by the
-/// sweep harness with traces already in grid order.
-pub fn export_sweep(name: &str, points: usize, traces: &[PointTrace]) -> Option<PathBuf> {
+/// `<dir>/<flat>.trace.json` and its collapsed-stack attribution to
+/// `<dir>/<flat>.collapsed`, and fold its summary and attribution into
+/// the process-wide accumulators (written later by [`write_summary`] /
+/// [`write_attribution`]). Called by the sweep harness with traces
+/// already in grid order; `configs[i]` is the compact config JSON of
+/// grid point `i`.
+pub fn export_sweep(
+    name: &str,
+    points: usize,
+    traces: &[PointTrace],
+    configs: &[String],
+) -> Option<PathBuf> {
     let cfg = config()?;
-    std::fs::create_dir_all(&cfg.dir).expect("trace directory must be creatable");
+    let attribution = SweepAttribution::fold(name, points, traces, configs);
     let path = cfg.dir.join(format!("{}.trace.json", flat_name(name)));
-    std::fs::write(&path, chrome::render(name, traces))
-        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    if cfg.artifacts {
+        std::fs::create_dir_all(&cfg.dir).expect("trace directory must be creatable");
+        std::fs::write(&path, chrome::render(name, traces))
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        let collapsed = cfg.dir.join(format!("{}.collapsed", flat_name(name)));
+        std::fs::write(&collapsed, attribution.collapsed())
+            .unwrap_or_else(|e| panic!("write {}: {e}", collapsed.display()));
+    }
     let summary = SweepSummary::merge(name, points, traces);
     let mut all = SUMMARIES.lock().expect("summaries poisoned");
     // Re-running a sweep in-process (tests, repeated experiments)
@@ -220,14 +248,29 @@ pub fn export_sweep(name: &str, points: usize, traces: &[PointTrace]) -> Option<
         Some(slot) => *slot = summary,
         None => all.push(summary),
     }
+    drop(all);
+    let mut atts = ATTRIBUTIONS.lock().expect("attributions poisoned");
+    match atts.iter_mut().find(|a| a.sweep == name) {
+        Some(slot) => *slot = attribution,
+        None => atts.push(attribution),
+    }
     Some(path)
 }
 
+/// Snapshot of every sweep attribution accumulated so far, in execution
+/// order. Baseline record/check consume this in-process.
+pub fn attributions() -> Vec<SweepAttribution> {
+    ATTRIBUTIONS.lock().expect("attributions poisoned").clone()
+}
+
 /// Write the cumulative `telemetry.json` (all sweeps exported so far,
-/// in execution order). Returns the path, or `None` when tracing is off
-/// or nothing recorded.
+/// in execution order). Returns the path, or `None` when tracing is off,
+/// artifacts are disabled, or nothing recorded.
 pub fn write_summary() -> Option<PathBuf> {
     let cfg = config()?;
+    if !cfg.artifacts {
+        return None;
+    }
     let all = SUMMARIES.lock().expect("summaries poisoned");
     if all.is_empty() {
         return None;
@@ -242,6 +285,33 @@ pub fn write_summary() -> Option<PathBuf> {
     let path = cfg.dir.join("telemetry.json");
     std::fs::create_dir_all(&cfg.dir).expect("trace directory must be creatable");
     let text = serde_json::to_string_pretty(&root).expect("summary serializes");
+    std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    Some(path)
+}
+
+/// Write the cumulative `attribution.json` (per-stage shares and means
+/// for every sweep exported so far, in execution order). Returns the
+/// path, or `None` when tracing is off, artifacts are disabled, or
+/// nothing recorded.
+pub fn write_attribution() -> Option<PathBuf> {
+    let cfg = config()?;
+    if !cfg.artifacts {
+        return None;
+    }
+    let all = ATTRIBUTIONS.lock().expect("attributions poisoned");
+    if all.is_empty() {
+        return None;
+    }
+    let root = serde::Value::Object(vec![
+        ("schema".into(), serde::Value::U64(1)),
+        (
+            "sweeps".into(),
+            serde::Value::Array(all.iter().map(SweepAttribution::to_value).collect()),
+        ),
+    ]);
+    let path = cfg.dir.join("attribution.json");
+    std::fs::create_dir_all(&cfg.dir).expect("trace directory must be creatable");
+    let text = serde_json::to_string_pretty(&root).expect("attribution serializes");
     std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     Some(path)
 }

@@ -1,0 +1,95 @@
+//! Golden-trace corpus: the attribution artifacts for the pinned quick
+//! configuration (`repro validate --profile quick --trace`) are
+//! committed under `tests/golden/` and this test regenerates them
+//! in-process and byte-compares.
+//!
+//! Because folding is order-independent and trace assembly is
+//! grid-ordered, the artifacts must match whatever the thread count —
+//! CI runs this test twice, with `THYMESIM_GOLDEN_JOBS=1` and unset
+//! (default parallelism). The fixtures also pin the simulator's timing
+//! model: any change to stage latencies shows up as a byte diff here.
+//!
+//! To re-bless after an intentional model change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test attribution_golden
+//! ```
+//!
+//! then commit the rewritten files under `tests/golden/` (and re-record
+//! `results/baselines/quick.json`, which gates the same stages).
+
+use std::path::{Path, PathBuf};
+use thymesim::core::experiments::validate::{stream_delay_sweep, FIG2_PERIODS};
+use thymesim::core::sweep::{self, SweepOptions};
+use thymesim_bench::Profile;
+use thymesim_telemetry::{attribution, TraceConfig};
+
+const GOLDEN_DIR: &str = "tests/golden";
+const FIXTURES: [&str; 2] = ["validate_stream_delay.collapsed", "attribution.json"];
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join(GOLDEN_DIR)
+        .join(name)
+}
+
+#[test]
+fn quick_profile_attribution_matches_golden_fixtures() {
+    let profile = Profile::quick();
+    let jobs = std::env::var("THYMESIM_GOLDEN_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(thymesim_sim::default_jobs);
+    let dir = std::env::temp_dir().join(format!("thymesim-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    sweep::configure(SweepOptions {
+        jobs,
+        cache: None,
+        progress: false,
+    });
+    thymesim_telemetry::configure(TraceConfig {
+        dir: dir.clone(),
+        ..Default::default()
+    });
+    stream_delay_sweep(&profile.testbed, &profile.stream, &FIG2_PERIODS);
+    thymesim_telemetry::write_attribution().expect("attribution.json written");
+    thymesim_telemetry::disable();
+    sweep::configure(SweepOptions::default());
+
+    // Fresh artifacts must themselves pass the structural validators.
+    let collapsed = std::fs::read_to_string(dir.join(FIXTURES[0])).expect("collapsed emitted");
+    let stats = attribution::check_collapsed(&collapsed).expect("flamegraph-shaped");
+    assert_eq!(stats.points, FIG2_PERIODS.len(), "one tower per grid point");
+    let att = std::fs::read_to_string(dir.join(FIXTURES[1])).expect("attribution emitted");
+    attribution::check_attribution(&att).expect("valid attribution.json");
+
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        for name in FIXTURES {
+            std::fs::create_dir_all(golden_path(name).parent().unwrap()).unwrap();
+            std::fs::copy(dir.join(name), golden_path(name)).unwrap();
+            eprintln!("re-blessed {}", golden_path(name).display());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        return;
+    }
+
+    for name in FIXTURES {
+        let fresh = std::fs::read(dir.join(name)).unwrap();
+        let golden = std::fs::read(golden_path(name)).unwrap_or_else(|e| {
+            panic!(
+                "missing golden fixture {} ({e}); generate it with \
+                 UPDATE_GOLDEN=1 cargo test --test attribution_golden",
+                golden_path(name).display()
+            )
+        });
+        assert!(
+            fresh == golden,
+            "{name} diverged from tests/golden/{name} (jobs={jobs}).\n\
+             If the timing model changed intentionally, re-bless with\n\
+             UPDATE_GOLDEN=1 cargo test --test attribution_golden\n\
+             and re-record results/baselines/quick.json.",
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

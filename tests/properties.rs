@@ -4,11 +4,46 @@
 use proptest::prelude::*;
 use thymesim::prelude::*;
 use thymesim::sim::Time;
+use thymesim_telemetry::attribution::READ_ANATOMY;
+use thymesim_telemetry::{PointTrace, Recorder, SweepAttribution, TraceRecorder};
 
 fn stream_cfg(elements: u64) -> StreamConfig {
     let mut s = StreamConfig::tiny();
     s.elements = elements;
     s
+}
+
+/// Stage-name table for synthetic attribution points: the full read
+/// anatomy plus two non-anatomy stages.
+const STAGE_NAMES: [&str; 8] = [
+    "credit.wait",
+    "fabric.egress",
+    "fabric.gate_wait",
+    "fabric.wire_out",
+    "fabric.lender_bus",
+    "fabric.return",
+    "mem.local_miss",
+    "link.queue_wait",
+];
+
+/// Build one synthetic traced point from encoded observations, in the
+/// order given. Each `u64` packs one observation (the vendored proptest
+/// has no tuple strategies): stage index in the low bits, duration in
+/// the rest.
+fn synth_point(index: usize, obs: &[u64]) -> PointTrace {
+    let mut r = TraceRecorder::new(index, 16);
+    for v in obs {
+        let stage = (v % STAGE_NAMES.len() as u64) as usize;
+        let ns = v / STAGE_NAMES.len() as u64 + 1;
+        r.latency(STAGE_NAMES[stage], thymesim::sim::Dur::ns(ns));
+    }
+    r.finish()
+}
+
+/// Inverse of `synth_point`'s decoding: one observation of `ns` ns on
+/// `STAGE_NAMES[stage]`.
+fn enc(stage: u64, ns: u64) -> u64 {
+    (ns - 1) * STAGE_NAMES.len() as u64 + stage
 }
 
 proptest! {
@@ -88,6 +123,79 @@ proptest! {
         }
     }
 
+    /// Attribution invariant: for arbitrary per-stage observations, the
+    /// anatomy stage totals partition the attributed read exactly and
+    /// the shares sum to 1 within floating-point rounding.
+    #[test]
+    fn prop_attribution_shares_partition_the_read(
+        points in proptest::collection::vec(
+            proptest::collection::vec(0u64..8_000_000, 1..24),
+            1..6,
+        ),
+    ) {
+        let traces: Vec<PointTrace> = points
+            .iter()
+            .enumerate()
+            .map(|(i, obs)| synth_point(i, obs))
+            .collect();
+        let att = SweepAttribution::fold("prop", traces.len(), &traces, &[]);
+        for p in att.per_point.iter().chain(std::iter::once(&att.merged)) {
+            let total: u64 = p.anatomy.iter().map(|s| s.total_ps).sum();
+            prop_assert_eq!(total, p.read_total_ps, "anatomy must partition the read");
+            if p.read_total_ps > 0 {
+                let share_sum: f64 = p.anatomy.iter().filter_map(|s| s.share).sum();
+                prop_assert!(
+                    (share_sum - 1.0).abs() < 1e-9,
+                    "shares sum to {} at point {:?}", share_sum, p.index
+                );
+            }
+            for s in p.anatomy.iter().chain(&p.other) {
+                if let Some(share) = s.share {
+                    prop_assert!((0.0..=1.0).contains(&share));
+                }
+                if s.count > 0 {
+                    let expect = s.total_ps as f64 / s.count as f64;
+                    prop_assert!((s.mean_ps - expect).abs() < 1e-6 * (1.0 + expect));
+                }
+            }
+        }
+    }
+
+    /// Attribution folding is order-independent: the same points folded
+    /// in reverse (both point order and within-point observation order)
+    /// produce identical reports — histogram merge is commutative and
+    /// the fold sorts its outputs.
+    #[test]
+    fn prop_attribution_fold_is_order_independent(
+        points in proptest::collection::vec(
+            proptest::collection::vec(0u64..8_000_000, 1..24),
+            2..6,
+        ),
+    ) {
+        let forward: Vec<PointTrace> = points
+            .iter()
+            .enumerate()
+            .map(|(i, obs)| synth_point(i, obs))
+            .collect();
+        let backward: Vec<PointTrace> = points
+            .iter()
+            .enumerate()
+            .rev()
+            .map(|(i, obs)| {
+                let rev: Vec<u64> = obs.iter().rev().copied().collect();
+                synth_point(i, &rev)
+            })
+            .collect();
+        let a = SweepAttribution::fold("prop", points.len(), &forward, &[]);
+        let b = SweepAttribution::fold("prop", points.len(), &backward, &[]);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.collapsed(), b.collapsed());
+        prop_assert_eq!(
+            serde_json::to_string(&a.to_value()).unwrap(),
+            serde_json::to_string(&b.to_value()).unwrap()
+        );
+    }
+
     /// Attach either succeeds before the discovery budget or fails with a
     /// timeout — never hangs, never reports success late.
     #[test]
@@ -105,4 +213,29 @@ proptest! {
             Err(other) => prop_assert!(false, "unexpected error {other:?}"),
         }
     }
+}
+
+/// Degenerate sweeps must not panic: an empty grid, a one-point grid,
+/// and a point that recorded nothing all fold to well-formed (if empty)
+/// reports.
+#[test]
+fn attribution_degenerate_sweeps_do_not_panic() {
+    let empty = SweepAttribution::fold("deg", 0, &[], &[]);
+    assert!(empty.per_point.is_empty());
+    assert_eq!(empty.merged.read_total_ps, 0);
+    assert_eq!(empty.collapsed(), "");
+
+    let one = SweepAttribution::fold("deg", 1, &[synth_point(0, &[enc(2, 500)])], &[]);
+    assert_eq!(one.per_point.len(), 1);
+    assert_eq!(one.merged.anatomy.len(), 1);
+    assert_eq!(one.merged.anatomy[0].stage, READ_ANATOMY[2].0);
+    assert_eq!(one.merged.anatomy[0].share, Some(1.0));
+
+    // A recorder that observed nothing: no stages, zero totals, and the
+    // collapsed report stays empty rather than emitting zero-count junk.
+    let silent = SweepAttribution::fold("deg", 1, &[synth_point(0, &[])], &[]);
+    assert_eq!(silent.per_point.len(), 1);
+    assert_eq!(silent.per_point[0].read_total_ps, 0);
+    assert!(silent.per_point[0].anatomy.is_empty());
+    assert_eq!(silent.collapsed(), "");
 }
