@@ -23,21 +23,27 @@
 //!   Perfetto-loadable `<sweep>.trace.json` per sweep plus a merged
 //!   `telemetry.json`, written to `--trace-out <dir>` (default
 //!   `traces/`). Also emits one collapsed-stack `<sweep>.collapsed`
-//!   per sweep (render with `flamegraph.pl` / `inferno-flamegraph`)
-//!   and a merged `attribution.json` of per-stage shares and means.
+//!   per sweep (render with `flamegraph.pl` / `inferno-flamegraph`),
+//!   with a workload-phase frame between point and stage
+//!   (`root;point_N;<phase>;read;gate_wait`), and a merged
+//!   `attribution.json` of per-stage shares and means with per-phase
+//!   sub-slices that sum exactly to each stage.
 //!   The optional filter substring selects which sweeps record.
 //!   Tracing never changes `results/` — it is observational.
 //!   Cached points record nothing; pair with `--no-cache` for full
 //!   timelines.
 //! * `--baseline-record[=<path>]` — after the run, snapshot every
-//!   sweep's merged per-stage means into a baseline JSON (default
+//!   sweep's merged per-stage means (and per-workload-phase means
+//!   within each stage) into a baseline JSON (default
 //!   `results/baselines/<profile>.json`). Implies `--no-cache` and
 //!   stage recording (without writing trace files unless `--trace` is
 //!   also given).
-//! * `--baseline-check[=<path>]` — compare the run's stage means
-//!   against the committed baseline with per-stage tolerance bands.
-//!   Prints each offending stage delta and exits 1 on drift (2 when
-//!   the baseline is missing/malformed or pins a different command).
+//! * `--baseline-check[=<path>]` — compare the run's stage and phase
+//!   means against the committed baseline with per-stage and per-phase
+//!   tolerance bands. Prints each offending stage delta — naming the
+//!   phase when the drift is phase-confined — and exits 1 on drift (2
+//!   when the baseline is missing/malformed or pins a different
+//!   command).
 
 use std::io::Write as _;
 use std::path::PathBuf;

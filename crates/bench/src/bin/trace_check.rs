@@ -9,10 +9,13 @@
 //!   balanced B/E pairs per lane.
 //! * `*.collapsed` — collapsed-stack attribution reports, in exactly
 //!   the shape `flamegraph.pl` / `inferno-flamegraph` parse:
-//!   `frame;frame;... <integer count>` per line.
+//!   `frame;frame;... <integer count>` per line; point-anchored lines
+//!   must carry a workload-phase frame with a stage path below it
+//!   (`root;point_N;<phase>;read;gate_wait`).
 //! * `attribution.json` — per-stage shares/means: schema version,
 //!   shares in [0, 1] summing to 1 per attributed point, means
-//!   consistent with totals and counts.
+//!   consistent with totals and counts, per-phase sub-slices summing
+//!   exactly to their stage and free of orphan phases.
 //!
 //! ```text
 //! cargo run --release -p thymesim-bench --bin trace_check -- \
@@ -42,15 +45,15 @@ fn main() {
         let verdict = if path.ends_with(".collapsed") {
             attribution::check_collapsed(&text).map(|stats| {
                 format!(
-                    "ok ({} stacks over {} points, {} ps total)",
-                    stats.lines, stats.points, stats.total
+                    "ok ({} stacks over {} points / {} phase towers, {} ps total)",
+                    stats.lines, stats.points, stats.phases, stats.total
                 )
             })
         } else if path.ends_with("attribution.json") {
             attribution::check_attribution(&text).map(|stats| {
                 format!(
-                    "ok ({} sweeps, {} points, {} stage slices)",
-                    stats.sweeps, stats.points, stats.slices
+                    "ok ({} sweeps, {} points, {} stage slices, {} phase slices)",
+                    stats.sweeps, stats.points, stats.slices, stats.phases
                 )
             })
         } else {

@@ -90,6 +90,42 @@ fn baseline_gate_round_trip_and_negative_path() {
     );
     assert!(err.contains("tolerance"), "delta report expected: {err}");
 
+    // 3b. Perturb one *phase* band while leaving every stage-level mean
+    //     untouched: drift confined to a workload phase must still exit
+    //     1, naming both the stage and the phase.
+    let mut phase_bad = base.clone();
+    let (stage_name, phase_name) = {
+        let stage = phase_bad.sweeps[0]
+            .stages
+            .iter_mut()
+            .find(|s| s.phases.iter().any(|p| p.count > 0 && p.mean_ps > 0.0))
+            .expect("a stage with a populated phase band");
+        let phase = stage
+            .phases
+            .iter_mut()
+            .find(|p| p.count > 0 && p.mean_ps > 0.0)
+            .unwrap();
+        phase.mean_ps *= 1.5;
+        (stage.stage.clone(), phase.phase.clone())
+    };
+    let phase_bad_path = dir.join("phase_bad.json");
+    std::fs::write(
+        &phase_bad_path,
+        serde_json::to_string_pretty(&phase_bad).unwrap(),
+    )
+    .unwrap();
+    let out = check_against(&phase_bad_path);
+    assert_eq!(out.status.code(), Some(1), "phase drift must exit 1");
+    let err = stderr_of(&out);
+    assert!(
+        err.contains(&format!("[phase {phase_name}]")),
+        "offending phase {phase_name} must be named: {err}"
+    );
+    assert!(
+        err.contains(&stage_name),
+        "offending stage {stage_name} must be named: {err}"
+    );
+
     // 4a. A baseline recorded from a different command is refused.
     let mut foreign = base.clone();
     foreign.command = "fig4 --profile quick".into();

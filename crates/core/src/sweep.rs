@@ -150,7 +150,10 @@ where
     // Telemetry: each simulated point records on its own worker thread;
     // cache hits record nothing (the simulation never ran). Traces come
     // back in grid order with the results, so trace files are identical
-    // across `--jobs` settings.
+    // across `--jobs` settings. Workload phase identity lives inside
+    // the per-point recorder (the current phase is recorder state, not
+    // a global), so per-phase attribution inherits the same invariance
+    // for free.
     let tracing = thymesim_telemetry::sweep_traced(name);
     let max_events = thymesim_telemetry::config().map_or(0, |c| c.max_events_per_point);
     let pairs = ordered_map(&keyed, opts.jobs, |index, (config, key)| {

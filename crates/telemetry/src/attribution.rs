@@ -4,6 +4,21 @@
 //! breakdown (`attribution.json`) of per-stage totals, means, and shares
 //! for every grid point plus a sweep-merged entry.
 //!
+//! ## Phases
+//!
+//! Workloads mark their phases (STREAM kernels, BFS levels, SSSP
+//! buckets, KV warmup/steady, PageRank zero/push) via
+//! `telemetry::phase_begin`, and the recorder buckets every latency
+//! observation under the phase current at record time. The fold keeps
+//! that split: each [`StageSlice`] carries per-phase [`PhaseSlice`]s
+//! whose counts and totals sum *integer-exactly* to the stage's, the
+//! collapsed output inserts a phase frame
+//! (`root;point_N;<phase>;read;gate_wait`), and each point lists its
+//! phase index with per-phase attributed read totals. Observations
+//! outside any marker (attach, init, drain) fold into the `unphased`
+//! phase, so a trace with no markers degenerates to single `unphased`
+//! towers carrying exactly the old per-stage numbers.
+//!
 //! ## The read anatomy
 //!
 //! The paper's central figure decomposes one remote access into pipeline
@@ -25,7 +40,7 @@
 //! whatever order points were simulated in — `--jobs` is invisible,
 //! and the golden fixtures under `tests/golden/` stay stable.
 
-use crate::recorder::PointTrace;
+use crate::recorder::{Phase, PointTrace};
 use serde::Value;
 use thymesim_sim::Histogram;
 
@@ -54,6 +69,63 @@ pub const READ_ENVELOPE: &str = "mem.remote_miss";
 /// fabric observes as `fabric.gate_wait`).
 const COLLAPSED_EXCLUDE: [&str; 2] = [READ_ENVELOPE, "gate.delay"];
 
+/// One workload phase's slice of a stage: the sub-histogram of the
+/// observations recorded while that phase was current. For any stage,
+/// phase counts and totals partition the stage's — sums are
+/// integer-exact, never approximate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseSlice {
+    pub phase: Phase,
+    pub count: u64,
+    /// Exact sum of the phase's observations, picoseconds.
+    pub total_ps: u64,
+    pub mean_ps: f64,
+}
+
+impl PhaseSlice {
+    fn of(phase: Phase, h: &Histogram) -> PhaseSlice {
+        PhaseSlice {
+            phase,
+            count: h.count(),
+            total_ps: clamp(h.sum()),
+            mean_ps: h.mean(),
+        }
+    }
+
+    /// Collapsed-frame-safe label (`copy`, `bfs_level_3`, `unphased`).
+    pub fn label(&self) -> String {
+        self.phase.label()
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("phase".into(), Value::Str(self.label())),
+            ("count".into(), Value::U64(self.count)),
+            ("total_ps".into(), Value::U64(self.total_ps)),
+            ("mean_ps".into(), Value::F64(self.mean_ps)),
+        ])
+    }
+}
+
+/// One phase's attributed whole-read total at a point: the sum of its
+/// anatomy-stage sub-totals. The per-point list of these doubles as the
+/// point's phase index — every phase appearing in any slice appears
+/// here, which is what lets the checker reject orphan phase frames.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseTotal {
+    pub phase: Phase,
+    pub read_total_ps: u64,
+}
+
+impl PhaseTotal {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("phase".into(), Value::Str(self.phase.label())),
+            ("read_total_ps".into(), Value::U64(self.read_total_ps)),
+        ])
+    }
+}
+
 /// One stage's slice of a point (or of the sweep-merged aggregate).
 #[derive(Clone, Debug, PartialEq)]
 pub struct StageSlice {
@@ -70,10 +142,19 @@ pub struct StageSlice {
     /// Fraction of the read-anatomy total ([`PointAttribution::read_total_ps`]);
     /// `None` outside the anatomy or when nothing was attributed.
     pub share: Option<f64>,
+    /// Per-phase sub-slices, phase-sorted; their counts and totals sum
+    /// exactly to this slice's.
+    pub phases: Vec<PhaseSlice>,
 }
 
 impl StageSlice {
-    fn of(stage: &str, frame: String, h: &Histogram, read_total_ps: u64) -> StageSlice {
+    fn of(
+        stage: &str,
+        frame: String,
+        h: &Histogram,
+        read_total_ps: u64,
+        phases: Vec<PhaseSlice>,
+    ) -> StageSlice {
         let total = clamp(h.sum());
         let share = READ_ANATOMY.iter().any(|(name, _)| *name == stage) && read_total_ps > 0;
         StageSlice {
@@ -83,7 +164,13 @@ impl StageSlice {
             total_ps: total,
             mean_ps: h.mean(),
             share: share.then(|| total as f64 / read_total_ps as f64),
+            phases,
         }
+    }
+
+    /// Look up one phase's sub-slice by collapsed label.
+    pub fn phase(&self, label: &str) -> Option<&PhaseSlice> {
+        self.phases.iter().find(|p| p.label() == label)
     }
 
     fn to_value(&self) -> Value {
@@ -99,6 +186,10 @@ impl StageSlice {
                     Some(s) => Value::F64(s),
                     None => Value::Null,
                 },
+            ),
+            (
+                "phases".into(),
+                Value::Array(self.phases.iter().map(PhaseSlice::to_value).collect()),
             ),
         ])
     }
@@ -117,6 +208,9 @@ pub struct PointAttribution {
     pub read_total_ps: u64,
     /// Total of the envelope stage ([`READ_ENVELOPE`]), when recorded.
     pub envelope_ps: Option<u64>,
+    /// The point's phase index, phase-sorted: every phase observed in
+    /// any slice, with its attributed whole-read total.
+    pub phases: Vec<PhaseTotal>,
     /// Anatomy slices in pipeline order (only stages that recorded).
     pub anatomy: Vec<StageSlice>,
     /// Every other recorded stage, name-sorted.
@@ -124,43 +218,84 @@ pub struct PointAttribution {
 }
 
 impl PointAttribution {
-    /// Fold one stage set. `stages` may arrive in any order; output
-    /// ordering is fixed (see module docs).
-    fn fold<'a, I>(index: Option<usize>, config: Option<String>, stages: I) -> PointAttribution
-    where
-        I: IntoIterator<Item = (&'a str, &'a Histogram)>,
-    {
-        let stages: Vec<(&str, &Histogram)> = stages.into_iter().collect();
+    /// Fold one stage set plus its per-(stage, phase) sub-histograms.
+    /// Inputs may arrive in any order; output ordering is fixed (see
+    /// module docs).
+    fn fold(
+        index: Option<usize>,
+        config: Option<String>,
+        stages: &[(&str, &Histogram)],
+        phased: &[(&str, Phase, &Histogram)],
+    ) -> PointAttribution {
         let read_total: u128 = READ_ANATOMY
             .iter()
             .filter_map(|(name, _)| stages.iter().find(|(n, _)| n == name))
             .map(|(_, h)| h.sum())
             .sum();
         let read_total_ps = clamp(read_total);
+        let phase_slices = |stage: &str| -> Vec<PhaseSlice> {
+            let mut v: Vec<PhaseSlice> = phased
+                .iter()
+                .filter(|(n, _, _)| *n == stage)
+                .map(|(_, p, h)| PhaseSlice::of(*p, h))
+                .collect();
+            v.sort_by_key(|s| s.phase);
+            v
+        };
         let anatomy: Vec<StageSlice> = READ_ANATOMY
             .iter()
             .filter_map(|(name, leaf)| {
-                stages
-                    .iter()
-                    .find(|(n, _)| n == name)
-                    .map(|(_, h)| StageSlice::of(name, format!("read;{leaf}"), h, read_total_ps))
+                stages.iter().find(|(n, _)| n == name).map(|(_, h)| {
+                    StageSlice::of(
+                        name,
+                        format!("read;{leaf}"),
+                        h,
+                        read_total_ps,
+                        phase_slices(name),
+                    )
+                })
             })
             .collect();
         let mut other: Vec<StageSlice> = stages
             .iter()
             .filter(|(n, _)| !READ_ANATOMY.iter().any(|(name, _)| name == n))
-            .map(|(n, h)| StageSlice::of(n, n.replace('.', ";"), h, read_total_ps))
+            .map(|(n, h)| StageSlice::of(n, n.replace('.', ";"), h, read_total_ps, phase_slices(n)))
             .collect();
         other.sort_by(|a, b| a.stage.cmp(&b.stage));
         let envelope_ps = stages
             .iter()
             .find(|(n, _)| *n == READ_ENVELOPE)
             .map(|(_, h)| clamp(h.sum()));
+        // Phase index: every phase seen in any slice, with the sum of
+        // its anatomy sub-totals as the attributed whole-read time.
+        let mut ids: Vec<Phase> = Vec::new();
+        for (_, p, _) in phased {
+            if !ids.contains(p) {
+                ids.push(*p);
+            }
+        }
+        ids.sort();
+        let phases: Vec<PhaseTotal> = ids
+            .into_iter()
+            .map(|phase| PhaseTotal {
+                phase,
+                read_total_ps: clamp(
+                    phased
+                        .iter()
+                        .filter(|(n, p, _)| {
+                            *p == phase && READ_ANATOMY.iter().any(|(name, _)| name == n)
+                        })
+                        .map(|(_, _, h)| h.sum())
+                        .sum(),
+                ),
+            })
+            .collect();
         PointAttribution {
             index,
             config,
             read_total_ps,
             envelope_ps,
+            phases,
             anatomy,
             other,
         }
@@ -191,6 +326,10 @@ impl PointAttribution {
                 Some(e) => Value::U64(e),
                 None => Value::Null,
             },
+        ));
+        fields.push((
+            "phases".into(),
+            Value::Array(self.phases.iter().map(PhaseTotal::to_value).collect()),
         ));
         fields.push((
             "anatomy".into(),
@@ -230,15 +369,21 @@ impl SweepAttribution {
         let mut per_point: Vec<PointAttribution> = traces
             .iter()
             .map(|t| {
+                let stages: Vec<(&str, &Histogram)> =
+                    t.stages.iter().map(|(n, h)| (*n, h)).collect();
+                let phased: Vec<(&str, Phase, &Histogram)> =
+                    t.phased.iter().map(|(n, p, h)| (*n, *p, h)).collect();
                 PointAttribution::fold(
                     Some(t.index),
                     configs.get(t.index).cloned(),
-                    t.stages.iter().map(|(n, h)| (*n, h)),
+                    &stages,
+                    &phased,
                 )
             })
             .collect();
         per_point.sort_by_key(|p| p.index);
         let mut merged_stages: Vec<(&'static str, Histogram)> = Vec::new();
+        let mut merged_phased: Vec<(&'static str, Phase, Histogram)> = Vec::new();
         for t in traces {
             for (name, h) in &t.stages {
                 match merged_stages.iter_mut().find(|(n, _)| n == name) {
@@ -246,8 +391,20 @@ impl SweepAttribution {
                     None => merged_stages.push((name, h.clone())),
                 }
             }
+            for (name, phase, h) in &t.phased {
+                match merged_phased
+                    .iter_mut()
+                    .find(|(n, p, _)| n == name && p == phase)
+                {
+                    Some((_, _, acc)) => acc.merge(h),
+                    None => merged_phased.push((name, *phase, h.clone())),
+                }
+            }
         }
-        let merged = PointAttribution::fold(None, None, merged_stages.iter().map(|(n, h)| (*n, h)));
+        let stages: Vec<(&str, &Histogram)> = merged_stages.iter().map(|(n, h)| (*n, h)).collect();
+        let phased: Vec<(&str, Phase, &Histogram)> =
+            merged_phased.iter().map(|(n, p, h)| (*n, *p, h)).collect();
+        let merged = PointAttribution::fold(None, None, &stages, &phased);
         SweepAttribution {
             sweep: sweep.to_string(),
             points,
@@ -256,13 +413,17 @@ impl SweepAttribution {
         }
     }
 
-    /// Collapsed-stack report: one line per (point, stage), in the
-    /// format `flamegraph.pl` / `inferno-flamegraph` consume verbatim —
-    /// `frame;frame;...;frame <count>` with the stage's total
-    /// picoseconds as the count. Anatomy stages nest under a `read`
-    /// frame so the rendered tower's width is the whole-read time;
-    /// envelope/alias stages are excluded (their time is already in the
-    /// anatomy leaves).
+    /// Collapsed-stack report: one line per (point, phase, stage), in
+    /// the format `flamegraph.pl` / `inferno-flamegraph` consume
+    /// verbatim — `frame;frame;...;frame <count>` with the phase's
+    /// total picoseconds as the count. The phase frame sits between the
+    /// point and the stage path (`root;point_3;copy;read;gate_wait`),
+    /// so per-stage totals are the rendered sums of their phase
+    /// children. Anatomy stages nest under a `read` frame so the
+    /// rendered tower's width is the whole-read time; envelope/alias
+    /// stages are excluded (their time is already in the anatomy
+    /// leaves). A stage with no phase buckets (hand-built traces) emits
+    /// one `unphased` line carrying the stage total.
     pub fn collapsed(&self) -> String {
         let root = crate::flat_name(&self.sweep);
         let mut out = String::new();
@@ -272,7 +433,21 @@ impl SweepAttribution {
                 if COLLAPSED_EXCLUDE.contains(&s.stage.as_str()) {
                     continue;
                 }
-                out.push_str(&format!("{root};point_{idx};{} {}\n", s.frame, s.total_ps));
+                if s.phases.is_empty() {
+                    out.push_str(&format!(
+                        "{root};point_{idx};unphased;{} {}\n",
+                        s.frame, s.total_ps
+                    ));
+                    continue;
+                }
+                for ph in &s.phases {
+                    out.push_str(&format!(
+                        "{root};point_{idx};{};{} {}\n",
+                        ph.label(),
+                        s.frame,
+                        ph.total_ps
+                    ));
+                }
             }
         }
         out
@@ -312,17 +487,23 @@ pub struct CollapsedCheck {
     pub lines: usize,
     /// Distinct `root;point` prefixes.
     pub points: usize,
+    /// Distinct `root;point;phase` prefixes among point-anchored lines.
+    pub phases: usize,
     /// Sum of all counts.
     pub total: u128,
 }
 
 /// Structurally validate collapsed-stack text the way `flamegraph.pl`
 /// parses it: every line is `frame;frame;... <integer>`, frames are
-/// non-empty and space-free, at least two frames deep. Empty input is
-/// valid (a sweep whose every point hit the cache records nothing).
+/// non-empty and space-free, at least two frames deep. A point-anchored
+/// line (`root;point_N;...`) must carry a phase frame *and* a stage
+/// path below it — a bare `root;point_N;<phase>` line is an orphan
+/// phase with no stage leaf and is rejected. Empty input is valid (a
+/// sweep whose every point hit the cache records nothing).
 pub fn check_collapsed(text: &str) -> Result<CollapsedCheck, String> {
     let mut out = CollapsedCheck::default();
     let mut points: Vec<String> = Vec::new();
+    let mut phases: Vec<String> = Vec::new();
     for (i, line) in text.lines().enumerate() {
         let fail = |msg: String| Err(format!("line {}: {msg}", i + 1));
         let Some((stack, count)) = line.rsplit_once(' ') else {
@@ -340,6 +521,19 @@ pub fn check_collapsed(text: &str) -> Result<CollapsedCheck, String> {
                 "stack {stack:?} has an empty or space-bearing frame"
             ));
         }
+        if frames[1].starts_with("point_") {
+            // root;point;phase;stage... — anything shorter is a phase
+            // frame with no stage leaf under it.
+            if frames.len() < 4 {
+                return fail(format!(
+                    "stack {stack:?} is an orphan phase frame (no stage below the phase)"
+                ));
+            }
+            let phase = format!("{};{};{}", frames[0], frames[1], frames[2]);
+            if !phases.contains(&phase) {
+                phases.push(phase);
+            }
+        }
         let point = format!("{};{}", frames[0], frames[1]);
         if !points.contains(&point) {
             points.push(point);
@@ -348,6 +542,7 @@ pub fn check_collapsed(text: &str) -> Result<CollapsedCheck, String> {
         out.total += n as u128;
     }
     out.points = points.len();
+    out.phases = phases.len();
     Ok(out)
 }
 
@@ -357,11 +552,18 @@ pub struct AttributionCheck {
     pub sweeps: usize,
     pub points: usize,
     pub slices: usize,
+    /// Total per-phase sub-slices across all stage slices.
+    pub phases: usize,
 }
 
 /// Structurally validate an `attribution.json`: schema version, shares
 /// in [0, 1] summing to 1 over each attributed point's anatomy, means
-/// consistent with totals and counts.
+/// consistent with totals and counts, and — for the per-phase split —
+/// each slice's phase counts/totals summing *exactly* to the slice's
+/// (a phase sum exceeding its stage total is rejected), every slice
+/// phase present in the point's phase index (no orphans), and each
+/// index entry's `read_total_ps` equal to the sum of that phase's
+/// anatomy sub-totals.
 pub fn check_attribution(text: &str) -> Result<AttributionCheck, String> {
     let root: Value = serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
     if root.get("schema").and_then(Value::as_u64) != Some(1) {
@@ -388,7 +590,7 @@ pub fn check_attribution(text: &str) -> Result<AttributionCheck, String> {
             .get("merged")
             .ok_or_else(|| format!("{name}: missing merged entry"))?;
         for p in per_point.iter().chain(std::iter::once(merged)) {
-            check_point(name, p)?;
+            out.phases += check_point(name, p)?;
             out.slices += p
                 .get("anatomy")
                 .and_then(Value::as_array)
@@ -402,7 +604,9 @@ pub fn check_attribution(text: &str) -> Result<AttributionCheck, String> {
     Ok(out)
 }
 
-fn check_point(sweep: &str, p: &Value) -> Result<(), String> {
+/// Validate one point entry; returns the number of per-phase sub-slices
+/// it carries.
+fn check_point(sweep: &str, p: &Value) -> Result<usize, String> {
     let read_total = p
         .get("read_total_ps")
         .and_then(Value::as_u64)
@@ -411,14 +615,42 @@ fn check_point(sweep: &str, p: &Value) -> Result<(), String> {
         .get("anatomy")
         .and_then(Value::as_array)
         .ok_or_else(|| format!("{sweep}: point missing anatomy array"))?;
+    // The point's phase index: labels must be unique and non-empty;
+    // slice phases are checked against this set (orphan detection) and
+    // the per-phase anatomy totals must reproduce its read totals.
+    let mut phase_index: Vec<(String, u64)> = Vec::new();
+    for e in p
+        .get("phases")
+        .and_then(Value::as_array)
+        .unwrap_or(&[])
+        .iter()
+    {
+        let label = e
+            .get("phase")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{sweep}: phase index entry missing label"))?;
+        if label.is_empty() {
+            return Err(format!("{sweep}: empty phase label in phase index"));
+        }
+        if phase_index.iter().any(|(l, _)| l == label) {
+            return Err(format!("{sweep}: duplicate phase {label:?} in phase index"));
+        }
+        let total = e
+            .get("read_total_ps")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{sweep}/phase {label}: missing read_total_ps"))?;
+        phase_index.push((label.to_string(), total));
+    }
     let mut share_sum = 0.0;
     let mut total_sum = 0u128;
-    for s in anatomy.iter().chain(
-        p.get("other")
-            .and_then(Value::as_array)
-            .unwrap_or(&[])
-            .iter(),
-    ) {
+    let mut phase_slices = 0usize;
+    let mut anatomy_phase_totals: Vec<(String, u128)> = Vec::new();
+    let others = p.get("other").and_then(Value::as_array).unwrap_or(&[]);
+    for (s, in_anatomy) in anatomy
+        .iter()
+        .map(|s| (s, true))
+        .chain(others.iter().map(|s| (s, false)))
+    {
         let stage = s.get("stage").and_then(Value::as_str).unwrap_or("?");
         let count = s
             .get("count")
@@ -447,6 +679,81 @@ fn check_point(sweep: &str, p: &Value) -> Result<(), String> {
             share_sum += share;
             total_sum += total as u128;
         }
+        // Per-phase sub-slices: orphan-free, internally consistent, and
+        // partitioning the stage exactly.
+        let phases = s.get("phases").and_then(Value::as_array).unwrap_or(&[]);
+        let mut phase_count_sum = 0u64;
+        let mut phase_total_sum = 0u128;
+        for e in phases {
+            let label = e
+                .get("phase")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{sweep}/{stage}: phase entry missing label"))?;
+            if label.is_empty() {
+                return Err(format!("{sweep}/{stage}: empty phase label"));
+            }
+            if !phase_index.iter().any(|(l, _)| l == label) {
+                return Err(format!(
+                    "{sweep}/{stage}: orphan phase {label:?} not in the point's phase index"
+                ));
+            }
+            let pc = e
+                .get("count")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("{sweep}/{stage}/{label}: missing count"))?;
+            let pt = e
+                .get("total_ps")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("{sweep}/{stage}/{label}: missing total_ps"))?;
+            let pm = e
+                .get("mean_ps")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{sweep}/{stage}/{label}: missing mean_ps"))?;
+            if pc > 0 {
+                let expect = pt as f64 / pc as f64;
+                if (pm - expect).abs() > 1e-6 * (1.0 + expect) {
+                    return Err(format!(
+                        "{sweep}/{stage}/{label}: mean {pm} inconsistent with total/count {expect}"
+                    ));
+                }
+            }
+            phase_count_sum += pc;
+            phase_total_sum += pt as u128;
+            phase_slices += 1;
+            if in_anatomy {
+                match anatomy_phase_totals.iter_mut().find(|(l, _)| l == label) {
+                    Some((_, acc)) => *acc += pt as u128,
+                    None => anatomy_phase_totals.push((label.to_string(), pt as u128)),
+                }
+            }
+        }
+        if !phases.is_empty() {
+            if phase_count_sum != count {
+                return Err(format!(
+                    "{sweep}/{stage}: phase counts sum to {phase_count_sum}, stage count is {count}"
+                ));
+            }
+            if phase_total_sum != total as u128 {
+                return Err(format!(
+                    "{sweep}/{stage}: phase totals sum to {phase_total_sum}, \
+                     stage total_ps is {total}"
+                ));
+            }
+        }
+    }
+    // The phase index's read totals must reproduce from the anatomy
+    // sub-totals (integer-exact, like read_total_ps from the stages).
+    for (label, expect) in &phase_index {
+        let got = anatomy_phase_totals
+            .iter()
+            .find(|(l, _)| l == label)
+            .map_or(0, |(_, t)| *t);
+        if got != *expect as u128 {
+            return Err(format!(
+                "{sweep}/phase {label}: anatomy sub-totals sum to {got}, \
+                 phase index claims {expect}"
+            ));
+        }
     }
     if read_total > 0 {
         if (share_sum - 1.0).abs() > 1e-9 {
@@ -460,7 +767,7 @@ fn check_point(sweep: &str, p: &Value) -> Result<(), String> {
             ));
         }
     }
-    Ok(())
+    Ok(phase_slices)
 }
 
 #[cfg(test)]
@@ -471,14 +778,21 @@ mod tests {
 
     /// A point whose anatomy stages are (base, 2·base, ...·base) and
     /// whose envelope is their exact sum, plus one non-anatomy stage.
+    /// Anatomy observations split across two phases (`copy`, then a
+    /// second copy of each stage in `scale`); the envelope and the
+    /// local miss record outside any marker, i.e. `unphased`.
     fn point(index: usize, base: u64) -> PointTrace {
         let mut r = TraceRecorder::new(index, 10);
         let mut whole = 0;
         for (i, (name, _)) in READ_ANATOMY.iter().enumerate() {
             let d = base * (i as u64 + 1);
-            whole += d;
+            whole += 2 * d;
             // SAFETY of &'static: anatomy names are 'static consts.
+            r.phase_begin("copy", None);
             r.latency(name, Dur::ns(d));
+            r.phase_begin("scale", None);
+            r.latency(name, Dur::ns(d));
+            r.phase_end();
         }
         r.latency(READ_ENVELOPE, Dur::ns(whole));
         r.latency("mem.local_miss", Dur::ns(base));
@@ -505,6 +819,40 @@ mod tests {
         assert_eq!(att.merged.other[0].stage, "mem.local_miss");
         assert_eq!(att.merged.other[0].frame, "mem;local_miss");
         assert!(att.merged.other[0].share.is_none());
+    }
+
+    #[test]
+    fn phase_slices_partition_each_stage_exactly() {
+        let att = SweepAttribution::fold("sw", 2, &[point(0, 10), point(1, 7)], &[]);
+        for p in att.per_point.iter().chain(std::iter::once(&att.merged)) {
+            for s in p.slices() {
+                assert!(!s.phases.is_empty(), "{}: every stage is phased", s.stage);
+                let count: u64 = s.phases.iter().map(|ph| ph.count).sum();
+                let total: u64 = s.phases.iter().map(|ph| ph.total_ps).sum();
+                assert_eq!(count, s.count, "{}: phase counts partition", s.stage);
+                assert_eq!(total, s.total_ps, "{}: phase totals partition", s.stage);
+            }
+            // Anatomy stages split copy/scale; the envelope and local
+            // miss recorded outside any marker.
+            let gate = p.slice("fabric.gate_wait").unwrap();
+            assert_eq!(
+                gate.phases
+                    .iter()
+                    .map(PhaseSlice::label)
+                    .collect::<Vec<_>>(),
+                ["copy", "scale"]
+            );
+            assert_eq!(gate.phase("copy").unwrap().total_ps, gate.total_ps / 2);
+            let miss = p.slice("mem.local_miss").unwrap();
+            assert_eq!(miss.phases.len(), 1);
+            assert_eq!(miss.phases[0].label(), "unphased");
+            // The phase index reproduces per-phase read totals.
+            let labels: Vec<String> = p.phases.iter().map(|pt| pt.phase.label()).collect();
+            assert_eq!(labels, ["copy", "scale", "unphased"]);
+            let index_sum: u64 = p.phases.iter().map(|pt| pt.read_total_ps).sum();
+            assert_eq!(index_sum, p.read_total_ps);
+            assert_eq!(p.phases[2].read_total_ps, 0, "unphased saw no anatomy");
+        }
     }
 
     #[test]
@@ -544,11 +892,14 @@ mod tests {
         let att = SweepAttribution::fold("fig2/sweep", 2, &[point(0, 10), point(1, 7)], &[]);
         let text = att.collapsed();
         let stats = check_collapsed(&text).expect("collapsed output validates");
-        // 6 anatomy + 1 local-miss line per point; envelope excluded.
-        assert_eq!(stats.lines, 14);
+        // Per point: 6 anatomy stages × 2 phases + 1 unphased local-miss
+        // line; the envelope is excluded.
+        assert_eq!(stats.lines, 26);
         assert_eq!(stats.points, 2);
-        assert!(text.contains("fig2_sweep;point_0;read;gate_wait "));
-        assert!(text.contains("fig2_sweep;point_1;mem;local_miss "));
+        assert_eq!(stats.phases, 6, "copy/scale/unphased per point");
+        assert!(text.contains("fig2_sweep;point_0;copy;read;gate_wait "));
+        assert!(text.contains("fig2_sweep;point_0;scale;read;gate_wait "));
+        assert!(text.contains("fig2_sweep;point_1;unphased;mem;local_miss "));
         assert!(
             !text.contains("remote_miss"),
             "envelope stays out of the graph"
@@ -578,6 +929,101 @@ mod tests {
             "space inside frame"
         );
         assert!(check_collapsed("a;b;c 5\n").is_ok());
+    }
+
+    #[test]
+    fn checker_rejects_orphan_phase_frames_in_collapsed() {
+        // A point-anchored line must be root;point;phase;stage... — a
+        // phase with no stage leaf under it is rejected.
+        let err = check_collapsed("sw;point_0;copy 5\n").unwrap_err();
+        assert!(err.contains("orphan phase"), "{err}");
+        assert!(check_collapsed("sw;point_0;copy;read;gate_wait 5\n").is_ok());
+        // Non-point lines keep plain flamegraph semantics.
+        assert!(check_collapsed("a;b;c 5\n").is_ok());
+    }
+
+    /// A minimal hand-written attribution.json with one single-stage
+    /// point, parameterized on the phase fragments so negative tests
+    /// can inject exactly one defect.
+    fn mini_attribution(index_phases: &str, slice_phases: &str) -> String {
+        let point = format!(
+            r#"{{
+                "read_total_ps": 10,
+                "envelope_ps": null,
+                "phases": [{index_phases}],
+                "anatomy": [{{
+                    "stage": "credit.wait",
+                    "frame": "read;credit_wait",
+                    "count": 2,
+                    "total_ps": 10,
+                    "mean_ps": 5.0,
+                    "share": 1.0,
+                    "phases": [{slice_phases}]
+                }}],
+                "other": []
+            }}"#
+        );
+        format!(
+            r#"{{
+                "schema": 1,
+                "sweeps": [{{
+                    "sweep": "sw",
+                    "per_point": [],
+                    "merged": {point}
+                }}]
+            }}"#
+        )
+    }
+
+    #[test]
+    fn checker_rejects_malformed_phase_entries() {
+        let index = r#"{"phase": "copy", "read_total_ps": 10}"#;
+        let good = mini_attribution(
+            index,
+            r#"{"phase": "copy", "count": 2, "total_ps": 10, "mean_ps": 5.0}"#,
+        );
+        let stats = check_attribution(&good).expect("well-formed phases pass");
+        assert_eq!(stats.phases, 1);
+
+        // Orphan: slice names a phase the point's index never declared.
+        let orphan = mini_attribution(
+            index,
+            r#"{"phase": "ghost", "count": 2, "total_ps": 10, "mean_ps": 5.0}"#,
+        );
+        let err = check_attribution(&orphan).unwrap_err();
+        assert!(err.contains("orphan phase"), "{err}");
+
+        // Phase totals exceeding the stage total are rejected.
+        let exceed = mini_attribution(
+            r#"{"phase": "copy", "read_total_ps": 13}"#,
+            r#"{"phase": "copy", "count": 2, "total_ps": 13, "mean_ps": 6.5}"#,
+        );
+        let err = check_attribution(&exceed).unwrap_err();
+        assert!(err.contains("phase totals sum to 13"), "{err}");
+
+        // So are partitions that drop observations (counts short).
+        let short = mini_attribution(
+            index,
+            r#"{"phase": "copy", "count": 1, "total_ps": 10, "mean_ps": 10.0}"#,
+        );
+        let err = check_attribution(&short).unwrap_err();
+        assert!(err.contains("phase counts sum to 1"), "{err}");
+
+        // Index totals must reproduce from the anatomy sub-totals.
+        let inflated = mini_attribution(
+            r#"{"phase": "copy", "read_total_ps": 9}"#,
+            r#"{"phase": "copy", "count": 2, "total_ps": 10, "mean_ps": 5.0}"#,
+        );
+        let err = check_attribution(&inflated).unwrap_err();
+        assert!(err.contains("phase index claims 9"), "{err}");
+
+        // Duplicate index labels are rejected.
+        let dup = mini_attribution(
+            r#"{"phase": "copy", "read_total_ps": 10}, {"phase": "copy", "read_total_ps": 0}"#,
+            r#"{"phase": "copy", "count": 2, "total_ps": 10, "mean_ps": 5.0}"#,
+        );
+        let err = check_attribution(&dup).unwrap_err();
+        assert!(err.contains("duplicate phase"), "{err}");
     }
 
     #[test]

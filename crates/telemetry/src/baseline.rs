@@ -2,10 +2,12 @@
 //! pinned configuration, commit the file, and gate CI on drift.
 //!
 //! `repro --baseline-record` snapshots every sweep's merged stage means
-//! (from the attribution fold) into a JSON baseline;
+//! (from the attribution fold) into a JSON baseline, along with
+//! per-workload-phase bands inside each stage;
 //! `repro --baseline-check` re-runs the same pinned configuration and
-//! compares against the committed file with per-stage tolerance bands,
-//! exiting nonzero and naming the offending stages on drift. Because
+//! compares against the committed file with per-stage *and* per-phase
+//! tolerance bands, exiting nonzero and naming the offending stage (and
+//! phase, when the drift is phase-confined) on drift. Because
 //! the simulator is deterministic, a clean tree reproduces the baseline
 //! exactly — the tolerance band exists so that *intentional* model
 //! changes smaller than the band don't force a re-record, while
@@ -25,6 +27,17 @@ pub const BASELINE_SCHEMA: u64 = 1;
 /// Default relative tolerance band on stage means and counts (±2%).
 pub const DEFAULT_REL_TOL: f64 = 0.02;
 
+/// One workload phase's pinned expectation within a stage.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BaselinePhase {
+    /// Collapsed phase label (`copy`, `bfs_level_3`, `unphased`).
+    pub phase: String,
+    pub mean_ps: f64,
+    pub count: u64,
+    /// Relative tolerance band for this phase (fraction, not percent).
+    pub rel_tol: f64,
+}
+
 /// One stage's pinned expectation.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct BaselineStage {
@@ -33,6 +46,10 @@ pub struct BaselineStage {
     pub count: u64,
     /// Relative tolerance band for this stage (fraction, not percent).
     pub rel_tol: f64,
+    /// Per-phase bands, label-sorted: a drift confined to one workload
+    /// phase (one BFS level, the KV warmup) is caught and named even
+    /// when the stage-level mean washes it out.
+    pub phases: Vec<BaselinePhase>,
 }
 
 /// One sweep's pinned stage set.
@@ -68,6 +85,20 @@ impl Baseline {
                             mean_ps: s.mean_ps,
                             count: s.count,
                             rel_tol,
+                            phases: {
+                                let mut phases: Vec<BaselinePhase> = s
+                                    .phases
+                                    .iter()
+                                    .map(|p| BaselinePhase {
+                                        phase: p.label(),
+                                        mean_ps: p.mean_ps,
+                                        count: p.count,
+                                        rel_tol,
+                                    })
+                                    .collect();
+                                phases.sort_by(|a, b| a.phase.cmp(&b.phase));
+                                phases
+                            },
                         })
                         .collect();
                     stages.sort_by(|a, b| a.stage.cmp(&b.stage));
@@ -85,8 +116,8 @@ impl Baseline {
     }
 
     /// Compare folded sweeps against this baseline. Empty result means
-    /// every pinned stage is within its tolerance band and no stage
-    /// appeared or disappeared.
+    /// every pinned stage *and phase* is within its tolerance band and
+    /// nothing appeared or disappeared.
     pub fn check(&self, atts: &[SweepAttribution]) -> Vec<Drift> {
         let mut drifts = Vec::new();
         for base in &self.sweeps {
@@ -94,6 +125,7 @@ impl Baseline {
                 drifts.push(Drift {
                     sweep: base.sweep.clone(),
                     stage: "*".into(),
+                    phase: None,
                     kind: DriftKind::MissingSweep,
                 });
                 continue;
@@ -103,37 +135,58 @@ impl Baseline {
                     drifts.push(Drift {
                         sweep: base.sweep.clone(),
                         stage: bs.stage.clone(),
+                        phase: None,
                         kind: DriftKind::MissingStage {
                             baseline_ps: bs.mean_ps,
                         },
                     });
                     continue;
                 };
-                let mean_delta = rel_delta(slice.mean_ps, bs.mean_ps);
-                if mean_delta > bs.rel_tol {
-                    drifts.push(Drift {
-                        sweep: base.sweep.clone(),
-                        stage: bs.stage.clone(),
-                        kind: DriftKind::MeanDrift {
-                            baseline_ps: bs.mean_ps,
-                            actual_ps: slice.mean_ps,
-                            rel_delta: mean_delta,
-                            rel_tol: bs.rel_tol,
-                        },
-                    });
+                drifts.extend(band_drifts(
+                    &base.sweep,
+                    &bs.stage,
+                    None,
+                    bs.mean_ps,
+                    bs.count,
+                    bs.rel_tol,
+                    slice.mean_ps,
+                    slice.count,
+                ));
+                // Per-phase bands within the stage.
+                for bp in &bs.phases {
+                    let Some(ph) = slice.phase(&bp.phase) else {
+                        drifts.push(Drift {
+                            sweep: base.sweep.clone(),
+                            stage: bs.stage.clone(),
+                            phase: Some(bp.phase.clone()),
+                            kind: DriftKind::MissingStage {
+                                baseline_ps: bp.mean_ps,
+                            },
+                        });
+                        continue;
+                    };
+                    drifts.extend(band_drifts(
+                        &base.sweep,
+                        &bs.stage,
+                        Some(&bp.phase),
+                        bp.mean_ps,
+                        bp.count,
+                        bp.rel_tol,
+                        ph.mean_ps,
+                        ph.count,
+                    ));
                 }
-                let count_delta = rel_delta(slice.count as f64, bs.count as f64);
-                if count_delta > bs.rel_tol {
-                    drifts.push(Drift {
-                        sweep: base.sweep.clone(),
-                        stage: bs.stage.clone(),
-                        kind: DriftKind::CountDrift {
-                            baseline: bs.count,
-                            actual: slice.count,
-                            rel_delta: count_delta,
-                            rel_tol: bs.rel_tol,
-                        },
-                    });
+                for ph in &slice.phases {
+                    if !bs.phases.iter().any(|bp| bp.phase == ph.label()) {
+                        drifts.push(Drift {
+                            sweep: base.sweep.clone(),
+                            stage: bs.stage.clone(),
+                            phase: Some(ph.label()),
+                            kind: DriftKind::NewStage {
+                                actual_ps: ph.mean_ps,
+                            },
+                        });
+                    }
                 }
             }
             // A stage the baseline has never seen is drift too — the
@@ -143,6 +196,7 @@ impl Baseline {
                     drifts.push(Drift {
                         sweep: base.sweep.clone(),
                         stage: slice.stage.clone(),
+                        phase: None,
                         kind: DriftKind::NewStage {
                             actual_ps: slice.mean_ps,
                         },
@@ -157,6 +211,60 @@ impl Baseline {
     pub fn stage_count(&self) -> usize {
         self.sweeps.iter().map(|s| s.stages.len()).sum()
     }
+
+    /// Total pinned per-phase bands across all sweeps and stages.
+    pub fn phase_count(&self) -> usize {
+        self.sweeps
+            .iter()
+            .flat_map(|s| &s.stages)
+            .map(|st| st.phases.len())
+            .sum()
+    }
+}
+
+/// Mean/count band comparison shared by the stage- and phase-level
+/// checks; `phase: None` labels a stage-level drift.
+#[allow(clippy::too_many_arguments)]
+fn band_drifts(
+    sweep: &str,
+    stage: &str,
+    phase: Option<&str>,
+    base_mean: f64,
+    base_count: u64,
+    rel_tol: f64,
+    actual_mean: f64,
+    actual_count: u64,
+) -> Vec<Drift> {
+    let mut drifts = Vec::new();
+    let mean_delta = rel_delta(actual_mean, base_mean);
+    if mean_delta > rel_tol {
+        drifts.push(Drift {
+            sweep: sweep.to_string(),
+            stage: stage.to_string(),
+            phase: phase.map(str::to_string),
+            kind: DriftKind::MeanDrift {
+                baseline_ps: base_mean,
+                actual_ps: actual_mean,
+                rel_delta: mean_delta,
+                rel_tol,
+            },
+        });
+    }
+    let count_delta = rel_delta(actual_count as f64, base_count as f64);
+    if count_delta > rel_tol {
+        drifts.push(Drift {
+            sweep: sweep.to_string(),
+            stage: stage.to_string(),
+            phase: phase.map(str::to_string),
+            kind: DriftKind::CountDrift {
+                baseline: base_count,
+                actual: actual_count,
+                rel_delta: count_delta,
+                rel_tol,
+            },
+        });
+    }
+    drifts
 }
 
 /// Relative deviation of `actual` from `baseline`, with a 1 ps floor on
@@ -170,6 +278,9 @@ fn rel_delta(actual: f64, baseline: f64) -> f64 {
 pub struct Drift {
     pub sweep: String,
     pub stage: String,
+    /// `Some(label)` when the drift is confined to one workload phase
+    /// of the stage; `None` for stage-level drift.
+    pub phase: Option<String>,
     pub kind: DriftKind,
 }
 
@@ -197,7 +308,11 @@ pub enum DriftKind {
 
 impl std::fmt::Display for Drift {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} / {}: ", self.sweep, self.stage)?;
+        write!(f, "{} / {}", self.sweep, self.stage)?;
+        if let Some(phase) = &self.phase {
+            write!(f, " [phase {phase}]")?;
+        }
+        write!(f, ": ")?;
         match &self.kind {
             DriftKind::MissingSweep => write!(f, "sweep missing from the checked run"),
             DriftKind::MissingStage { baseline_ps } => write!(
@@ -265,7 +380,48 @@ mod tests {
         let b = Baseline::record("validate --profile quick", &atts, DEFAULT_REL_TOL);
         assert_eq!(b.schema, BASELINE_SCHEMA);
         assert_eq!(b.stage_count(), 6);
+        // Recording without markers still pins one band per stage: the
+        // implicit `unphased` phase.
+        assert_eq!(b.phase_count(), 6);
         assert!(b.check(&atts).is_empty());
+    }
+
+    fn phased_point(index: usize, copy_ns: u64, scale_ns: u64) -> PointTrace {
+        let mut r = TraceRecorder::new(index, 10);
+        r.phase_begin("copy", None);
+        r.latency("fabric.gate_wait", Dur::ns(copy_ns));
+        r.phase_begin("scale", None);
+        r.latency("fabric.gate_wait", Dur::ns(scale_ns));
+        r.finish()
+    }
+
+    #[test]
+    fn phase_confined_drift_is_named() {
+        let base = vec![SweepAttribution::fold(
+            "sw",
+            1,
+            &[phased_point(0, 100, 100)],
+            &[],
+        )];
+        let b = Baseline::record("cmd", &base, DEFAULT_REL_TOL);
+        assert_eq!(b.phase_count(), 2);
+        assert!(b.check(&base).is_empty());
+        // Shift time from copy into scale: the stage-level mean is
+        // unchanged, so only the per-phase bands can catch it.
+        let atts = vec![SweepAttribution::fold(
+            "sw",
+            1,
+            &[phased_point(0, 50, 150)],
+            &[],
+        )];
+        let drifts = b.check(&atts);
+        assert!(!drifts.is_empty(), "stage mean alone would pass");
+        assert!(drifts.iter().all(|d| d.phase.is_some()));
+        let msg = drifts[0].to_string();
+        assert!(
+            msg.contains("[phase copy]") || msg.contains("[phase scale]"),
+            "phase must be named: {msg}"
+        );
     }
 
     #[test]
@@ -300,6 +456,7 @@ mod tests {
             mean_ps: 5.0,
             count: 1,
             rel_tol: DEFAULT_REL_TOL,
+            phases: Vec::new(),
         });
         let drifts = b.check(&atts);
         assert!(drifts

@@ -4,9 +4,13 @@
 //! **virtual sim time**. Probes throughout the simulator (fabric
 //! pipeline stages, credit window, delay gate, memory hierarchy, links,
 //! workload phases) call the free functions in this crate — [`span`],
-//! [`instant`], [`counter`], [`latency`], [`add`] — which forward to a
-//! thread-local [`Recorder`] when one is installed and cost a single
-//! thread-local flag read otherwise.
+//! [`instant`], [`counter`], [`latency`], [`add`], [`phase_begin`] /
+//! [`phase_end`] — which forward to a thread-local [`Recorder`] when one
+//! is installed and cost a single thread-local flag read otherwise.
+//! Workloads declare phases ([`phase_begin`]) and every latency
+//! observation lands in the phase current at record time, so each stage
+//! histogram splits into per-phase sub-histograms that sum exactly to
+//! the stage total.
 //!
 //! The sweep harness (`thymesim_core::sweep`) installs a
 //! [`TraceRecorder`] around each simulated point and exports two
@@ -32,9 +36,9 @@ pub mod chrome;
 pub mod recorder;
 pub mod summary;
 
-pub use attribution::{PointAttribution, StageSlice, SweepAttribution};
+pub use attribution::{PhaseSlice, PointAttribution, StageSlice, SweepAttribution};
 pub use baseline::{Baseline, Drift};
-pub use recorder::{NoopRecorder, PointTrace, Recorder, TraceEvent, TraceRecorder};
+pub use recorder::{NoopRecorder, Phase, PointTrace, Recorder, TraceEvent, TraceRecorder};
 pub use summary::SweepSummary;
 
 use std::cell::{Cell, RefCell};
@@ -190,11 +194,34 @@ pub fn counter(name: &'static str, at: Time, value: f64) {
     }
 }
 
-/// Record one observation of a per-stage latency.
+/// Record one observation of a per-stage latency. The observation is
+/// attributed to the workload phase current at record time (see
+/// [`phase_begin`]), so per-phase sub-histograms partition each stage
+/// histogram exactly.
 #[inline]
 pub fn latency(stage: &'static str, d: Dur) {
     if enabled() {
         with(|r| r.latency(stage, d));
+    }
+}
+
+/// Enter a workload phase (STREAM kernel, BFS level, KV steady state,
+/// ...). Subsequent [`latency`] observations on this thread attribute to
+/// it until the next `phase_begin` or [`phase_end`]. Re-asserting the
+/// current phase is idempotent; interleaved processes restate theirs
+/// each step.
+#[inline]
+pub fn phase_begin(name: &'static str, index: Option<u64>) {
+    if enabled() {
+        with(|r| r.phase_begin(name, index));
+    }
+}
+
+/// Leave the current workload phase; later observations are `unphased`.
+#[inline]
+pub fn phase_end() {
+    if enabled() {
+        with(|r| r.phase_end());
     }
 }
 

@@ -5,6 +5,47 @@
 
 use thymesim_sim::{Dur, Histogram, Time};
 
+/// Identity of a workload phase: a static name plus an optional ordinal
+/// (BFS level, SSSP bucket, ...). Phases are declared by workloads via
+/// [`Recorder::phase_begin`] / [`Recorder::phase_end`]; every latency
+/// observation is attributed to the phase current at record time, so
+/// per-phase sub-histograms partition each stage histogram *exactly* —
+/// an observation lands in one phase bucket and the stage total, never
+/// zero or two.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Phase {
+    pub name: &'static str,
+    /// Ordinal for repeated phases (`bfs.level` 0, 1, ...); `None` for
+    /// singleton phases (`copy`, `kv.steady`).
+    pub index: Option<u64>,
+}
+
+impl Phase {
+    /// The implicit phase of observations recorded outside any marker
+    /// (attach, init, drain). A trace with no phase markers at all
+    /// therefore folds into this single phase.
+    pub const UNPHASED: Phase = Phase {
+        name: "unphased",
+        index: None,
+    };
+
+    /// Collapsed-frame-safe label: non-alphanumerics flatten to `_`
+    /// (same rule as sweep names on the filesystem) and the ordinal
+    /// appends as `_<n>` — `bfs.level` 3 becomes `bfs_level_3`.
+    pub fn label(&self) -> String {
+        let mut s: String = self
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        if let Some(i) = self.index {
+            s.push('_');
+            s.push_str(&i.to_string());
+        }
+        s
+    }
+}
+
 /// One timeline event, wholly in virtual (picosecond) time. Wall-clock
 /// never appears here — that is what makes traces byte-identical across
 /// `--jobs` settings and reruns.
@@ -84,6 +125,18 @@ pub trait Recorder {
         let _ = (stage, d);
     }
 
+    /// Enter a workload phase; subsequent latency observations attribute
+    /// to it until the next `phase_begin` or [`Recorder::phase_end`].
+    /// Re-asserting the current phase is cheap and idempotent, which lets
+    /// interleaved processes (contention experiments time-share one
+    /// engine thread) each restate their phase per step.
+    fn phase_begin(&mut self, name: &'static str, index: Option<u64>) {
+        let _ = (name, index);
+    }
+
+    /// Leave the current phase; subsequent observations are `unphased`.
+    fn phase_end(&mut self) {}
+
     /// Bump a monotonic total by `delta`.
     fn add(&mut self, name: &'static str, delta: u64) {
         let _ = (name, delta);
@@ -109,6 +162,11 @@ pub struct PointTrace {
     pub dropped: u64,
     /// Per-stage latency histograms, in first-observation order.
     pub stages: Vec<(&'static str, Histogram)>,
+    /// Per-(stage, phase) sub-histograms, in first-observation order.
+    /// Every `latency` observation lands in exactly one entry here *and*
+    /// in its stage histogram, so for each stage the phase counts and
+    /// sums partition the stage totals integer-exactly.
+    pub phased: Vec<(&'static str, Phase, Histogram)>,
     /// Monotonic totals, in first-observation order.
     pub counters: Vec<(&'static str, u64)>,
 }
@@ -122,6 +180,8 @@ pub struct TraceRecorder {
     events: Vec<TraceEvent>,
     dropped: u64,
     stages: Vec<(&'static str, Histogram)>,
+    phase: Phase,
+    phased: Vec<(&'static str, Phase, Histogram)>,
     counters: Vec<(&'static str, u64)>,
 }
 
@@ -133,6 +193,8 @@ impl TraceRecorder {
             events: Vec::new(),
             dropped: 0,
             stages: Vec::new(),
+            phase: Phase::UNPHASED,
+            phased: Vec::new(),
             counters: Vec::new(),
         }
     }
@@ -153,6 +215,7 @@ impl TraceRecorder {
             events: self.events,
             dropped: self.dropped,
             stages: self.stages,
+            phased: self.phased,
             counters: self.counters,
         }
     }
@@ -215,6 +278,30 @@ impl Recorder for TraceRecorder {
                 self.stages.push((stage, h));
             }
         }
+        // Mirror the observation into the (stage, current-phase) bucket:
+        // one record into the stage total, one into exactly one phase —
+        // that is what makes the per-phase partition integer-exact.
+        let phase = self.phase;
+        match self
+            .phased
+            .iter_mut()
+            .find(|(s, p, _)| *s == stage && *p == phase)
+        {
+            Some((_, _, h)) => h.record(d.as_ps()),
+            None => {
+                let mut h = Histogram::new();
+                h.record(d.as_ps());
+                self.phased.push((stage, phase, h));
+            }
+        }
+    }
+
+    fn phase_begin(&mut self, name: &'static str, index: Option<u64>) {
+        self.phase = Phase { name, index };
+    }
+
+    fn phase_end(&mut self) {
+        self.phase = Phase::UNPHASED;
     }
 
     fn add(&mut self, name: &'static str, delta: u64) {
@@ -259,6 +346,86 @@ mod tests {
         assert_eq!(t.stages[0].0, "gate");
         assert_eq!(t.stages[0].1.count(), 2);
         assert_eq!(t.counters, vec![("reads", 3)]);
+    }
+
+    #[test]
+    fn phase_labels_are_frame_safe() {
+        assert_eq!(Phase::UNPHASED.label(), "unphased");
+        let p = Phase {
+            name: "bfs.level",
+            index: Some(3),
+        };
+        assert_eq!(p.label(), "bfs_level_3");
+        let p = Phase {
+            name: "kv.steady",
+            index: None,
+        };
+        assert_eq!(p.label(), "kv_steady");
+    }
+
+    #[test]
+    fn latencies_partition_into_the_current_phase() {
+        let mut r = TraceRecorder::new(0, 10);
+        r.latency("gate", Dur::ns(1)); // before any marker: unphased
+        r.phase_begin("copy", None);
+        r.latency("gate", Dur::ns(2));
+        r.latency("wire", Dur::ns(3));
+        r.phase_begin("bfs.level", Some(1));
+        r.latency("gate", Dur::ns(4));
+        r.phase_end();
+        r.latency("gate", Dur::ns(8)); // after phase_end: unphased again
+        let t = r.finish();
+
+        // Stage totals are untouched by phasing.
+        let gate = &t.stages.iter().find(|(s, _)| *s == "gate").unwrap().1;
+        assert_eq!(gate.count(), 4);
+        assert_eq!(gate.sum(), Dur::ns(15).as_ps() as u128);
+
+        // Per-phase buckets partition each stage exactly.
+        for (stage, total) in [("gate", gate.sum()), ("wire", Dur::ns(3).as_ps() as u128)] {
+            let (count, sum) = t
+                .phased
+                .iter()
+                .filter(|(s, _, _)| *s == stage)
+                .fold((0u64, 0u128), |(c, s), (_, _, h)| {
+                    (c + h.count(), s + h.sum())
+                });
+            let stage_count = t
+                .stages
+                .iter()
+                .find(|(s, _)| *s == stage)
+                .unwrap()
+                .1
+                .count();
+            assert_eq!(count, stage_count, "{stage} phase counts partition");
+            assert_eq!(sum, total, "{stage} phase sums partition");
+        }
+
+        // The unphased bucket collects both the pre-marker and the
+        // post-phase_end observations.
+        let unphased = t
+            .phased
+            .iter()
+            .find(|(s, p, _)| *s == "gate" && *p == Phase::UNPHASED)
+            .unwrap();
+        assert_eq!(unphased.2.count(), 2);
+        assert_eq!(unphased.2.sum(), Dur::ns(9).as_ps() as u128);
+    }
+
+    #[test]
+    fn no_markers_means_one_unphased_bucket_per_stage() {
+        let mut r = TraceRecorder::new(0, 10);
+        r.latency("gate", Dur::ns(5));
+        r.latency("gate", Dur::ns(7));
+        r.latency("wire", Dur::ns(1));
+        let t = r.finish();
+        assert_eq!(t.phased.len(), 2, "one bucket per stage");
+        for (stage, phase, h) in &t.phased {
+            assert_eq!(*phase, Phase::UNPHASED);
+            let total = &t.stages.iter().find(|(s, _)| s == stage).unwrap().1;
+            assert_eq!(h.count(), total.count());
+            assert_eq!(h.sum(), total.sum());
+        }
     }
 
     #[test]

@@ -456,8 +456,12 @@ pub fn bfs<R: RemoteBackend>(
     let mut edges_traversed = 0u64;
     let mut reached = 1u64;
     let mut end = start;
+    let mut level = 0u64;
 
     while !frontier.is_empty() {
+        // Phase marker opens at level *start* so every access of the
+        // level attributes to it; the span below closes at the barrier.
+        thymesim_telemetry::phase_begin("bfs.level", Some(level));
         let mut next: Vec<u32> = Vec::new();
         // Edge-parallel traversal, as in the reference OpenMP code: hub
         // adjacency lists are chunked across cores (one adj cache line
@@ -526,7 +530,9 @@ pub fn bfs<R: RemoteBackend>(
             );
         }
         frontier = next;
+        level += 1;
     }
+    thymesim_telemetry::phase_end();
 
     thymesim_telemetry::span_arg("workload", "bfs", start, end, "root", root as u64);
     TraversalRun {
@@ -559,6 +565,7 @@ pub fn sssp<R: RemoteBackend>(
 
     let mut k = 0usize;
     while k < buckets.len() {
+        thymesim_telemetry::phase_begin("sssp.bucket", Some(k as u64));
         while let Some(v) = {
             let b = &mut buckets[k];
             b.pop()
@@ -614,6 +621,7 @@ pub fn sssp<R: RemoteBackend>(
         end = gang.barrier();
         k += 1;
     }
+    thymesim_telemetry::phase_end();
 
     let reached = (0..g.n).filter(|&v| dist.get_raw(sys, v) != INF).count() as u64;
     thymesim_telemetry::span_arg("workload", "sssp", start, end, "root", root as u64);

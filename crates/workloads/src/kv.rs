@@ -355,6 +355,18 @@ pub fn run_memtier<R: RemoteBackend>(
         // (one socket read, one writev), then serves each request's
         // memory work back-to-back.
         let batch = remaining[conn].min(depth);
+        // A connection's first batch is its warmup (connect + cold
+        // caches); everything after is steady state. Re-asserted per
+        // batch because connections interleave on the server.
+        if remaining[conn] == cfg.requests_per_conn {
+            thymesim_telemetry::phase_begin("kv.warmup", None);
+        } else {
+            thymesim_telemetry::phase_begin("kv.steady", None);
+        }
+        // The per-batch network-stack cost as its own stage: the paper's
+        // Redis insensitivity argument is that this term dominates the
+        // per-request time and is untouched by injected memory delay.
+        thymesim_telemetry::latency("kv.stack", cfg.server_stack);
         let mut t = begin + stack_rx;
         for _ in 0..batch {
             let key = sampler.sample(&mut rng);
@@ -382,6 +394,8 @@ pub fn run_memtier<R: RemoteBackend>(
             pending.push(Reverse((done_at_client + half_rtt, conn)));
         }
     }
+
+    thymesim_telemetry::phase_end();
 
     let elapsed = last_done - first_send;
     thymesim_telemetry::span_arg(

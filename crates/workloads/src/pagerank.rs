@@ -83,6 +83,7 @@ pub fn pagerank<R: RemoteBackend>(
 
     for _iter in 0..cfg.iterations {
         // Zero the next vector (timed sequential writes).
+        thymesim_telemetry::phase_begin("pagerank.zero", None);
         let base_term = (1.0 - cfg.damping) / n as f64;
         for v in 0..n {
             let at = ring.issue_at(cpu);
@@ -94,6 +95,7 @@ pub fn pagerank<R: RemoteBackend>(
             cpu = cpu.max2(at) + Dur::ps(200);
         }
         // Push phase.
+        thymesim_telemetry::phase_begin("pagerank.push", None);
         for v in 0..n {
             let at = ring.issue_at(cpu);
             let (done, missed) = sys.access_info(at, state.rank.addr(v), false);
@@ -144,8 +146,17 @@ pub fn pagerank<R: RemoteBackend>(
         }
         last_delta = delta;
     }
+    thymesim_telemetry::phase_end();
 
     let end = ring.horizon().max2(cpu);
+    thymesim_telemetry::span_arg(
+        "workload",
+        "pagerank",
+        start,
+        end,
+        "iters",
+        cfg.iterations as u64,
+    );
     let rank_sum = (0..n).map(|v| state.rank.get_raw(sys, v)).sum();
     PageRankReport {
         iterations: cfg.iterations,

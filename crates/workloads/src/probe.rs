@@ -135,12 +135,15 @@ impl ChaseTable {
         let mut hist = Histogram::new();
         let mut t = start;
         let mut cur = 0u64;
+        thymesim_telemetry::phase_begin("probe.chase", None);
         for _ in 0..cfg.hops {
             let (nxt, done) = self.read_hop(sys, t, cur);
             hist.record((done - t).as_ps());
             t = done + cfg.cpu_per_hop;
             cur = nxt;
         }
+        thymesim_telemetry::phase_end();
+        thymesim_telemetry::span_arg("workload", "probe.chase", start, t, "hops", cfg.hops);
         ProbeReport {
             mean: hist.mean_dur(),
             p50: Dur::ps(hist.p50()),

@@ -228,6 +228,10 @@ impl StreamProcess {
     pub fn step_on<R: RemoteBackend>(&mut self, sys: &mut MemSystem<R>) -> Step {
         debug_assert!(!self.done);
         let kernel = KERNELS[self.cursor.kernel];
+        // Re-asserted every step (not just at kernel boundaries) so that
+        // interleaved instances time-sharing one engine thread each
+        // attribute their accesses to their own current kernel.
+        thymesim_telemetry::phase_begin(kernel.name(), None);
         let j0 = self.cursor.line * self.elems_per_line;
         let j1 = (j0 + self.elems_per_line).min(self.cfg.elements);
         let s = self.cfg.scalar;
@@ -308,6 +312,7 @@ impl StreamProcess {
                 self.cursor.rep += 1;
                 if self.cursor.rep == self.cfg.ntimes {
                     self.done = true;
+                    thymesim_telemetry::phase_end();
                     return Step::Done;
                 }
             }

@@ -4,10 +4,15 @@
 //! in-process and byte-compares.
 //!
 //! Because folding is order-independent and trace assembly is
-//! grid-ordered, the artifacts must match whatever the thread count —
-//! CI runs this test twice, with `THYMESIM_GOLDEN_JOBS=1` and unset
-//! (default parallelism). The fixtures also pin the simulator's timing
-//! model: any change to stage latencies shows up as a byte diff here.
+//! grid-ordered, the artifacts must match whatever the thread count:
+//! the test generates them at `--jobs 1` *and* `--jobs 4` and
+//! byte-compares the two before comparing against the fixtures (CI
+//! additionally runs the whole test with `THYMESIM_GOLDEN_JOBS=1`,
+//! which pins both runs to one worker). The fixtures also pin the
+//! simulator's timing model — including the per-workload-phase split
+//! (STREAM kernel frames such as `copy`/`triad` in the collapsed
+//! stacks): any change to stage latencies or phase attribution shows
+//! up as a byte diff here.
 //!
 //! To re-bless after an intentional model change:
 //!
@@ -19,13 +24,18 @@
 //! `results/baselines/quick.json`, which gates the same stages).
 
 use std::path::{Path, PathBuf};
+use thymesim::core::experiments::apps::table1;
 use thymesim::core::experiments::validate::{stream_delay_sweep, FIG2_PERIODS};
 use thymesim::core::sweep::{self, SweepOptions};
 use thymesim_bench::Profile;
 use thymesim_telemetry::{attribution, TraceConfig};
 
 const GOLDEN_DIR: &str = "tests/golden";
-const FIXTURES: [&str; 2] = ["validate_stream_delay.collapsed", "attribution.json"];
+const FIXTURES: [&str; 3] = [
+    "validate_stream_delay.collapsed",
+    "apps_table1.collapsed",
+    "attribution.json",
+];
 
 fn golden_path(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -33,36 +43,87 @@ fn golden_path(name: &str) -> PathBuf {
         .join(name)
 }
 
-#[test]
-fn quick_profile_attribution_matches_golden_fixtures() {
+/// Generate the quick-profile attribution artifacts into `dir` with the
+/// given worker count.
+fn generate(dir: &Path, jobs: usize) {
     let profile = Profile::quick();
-    let jobs = std::env::var("THYMESIM_GOLDEN_JOBS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(thymesim_sim::default_jobs);
-    let dir = std::env::temp_dir().join(format!("thymesim-golden-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-
+    let _ = std::fs::remove_dir_all(dir);
     sweep::configure(SweepOptions {
         jobs,
         cache: None,
         progress: false,
     });
     thymesim_telemetry::configure(TraceConfig {
-        dir: dir.clone(),
+        dir: dir.to_path_buf(),
         ..Default::default()
     });
     stream_delay_sweep(&profile.testbed, &profile.stream, &FIG2_PERIODS);
+    // The apps sweep adds Redis KV and Graph500 BFS/SSSP towers so the
+    // corpus pins every workload family's phase frames, not just STREAM's.
+    table1(&profile.testbed, &profile.apps);
     thymesim_telemetry::write_attribution().expect("attribution.json written");
     thymesim_telemetry::disable();
     sweep::configure(SweepOptions::default());
+}
+
+#[test]
+fn quick_profile_attribution_matches_golden_fixtures() {
+    // `--jobs` must be invisible in the artifacts: generate at two
+    // worker counts and byte-compare before touching the fixtures.
+    // THYMESIM_GOLDEN_JOBS overrides the parallel run's worker count
+    // (CI uses =1 to make even the second run serial).
+    let jobs = std::env::var("THYMESIM_GOLDEN_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let dir = std::env::temp_dir().join(format!("thymesim-golden-{}", std::process::id()));
+    let serial_dir = dir.with_extension("serial");
+    generate(&serial_dir, 1);
+    generate(&dir, jobs);
+    for name in FIXTURES {
+        let serial = std::fs::read(serial_dir.join(name)).expect("serial artifact emitted");
+        let parallel = std::fs::read(dir.join(name)).expect("parallel artifact emitted");
+        assert!(
+            serial == parallel,
+            "{name} differs between --jobs 1 and --jobs {jobs}; \
+             the fold must be order-independent"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&serial_dir);
 
     // Fresh artifacts must themselves pass the structural validators.
     let collapsed = std::fs::read_to_string(dir.join(FIXTURES[0])).expect("collapsed emitted");
     let stats = attribution::check_collapsed(&collapsed).expect("flamegraph-shaped");
     assert_eq!(stats.points, FIG2_PERIODS.len(), "one tower per grid point");
-    let att = std::fs::read_to_string(dir.join(FIXTURES[1])).expect("attribution emitted");
-    attribution::check_attribution(&att).expect("valid attribution.json");
+    assert!(
+        stats.phases > stats.points,
+        "STREAM points must split into multiple phase towers, got {} over {} points",
+        stats.phases,
+        stats.points
+    );
+    for kernel in ["copy", "scale", "add", "triad"] {
+        assert!(
+            collapsed.contains(&format!(";{kernel};read;")),
+            "collapsed output must carry a {kernel} phase frame"
+        );
+    }
+    // The apps sweep must carry KV request-phase and graph level/bucket
+    // frames — no workload family may fold entirely into `unphased`.
+    let apps = std::fs::read_to_string(dir.join(FIXTURES[1])).expect("apps collapsed emitted");
+    attribution::check_collapsed(&apps).expect("apps collapsed flamegraph-shaped");
+    for frame in ["kv_warmup", "kv_steady", "bfs_level_1", "sssp_bucket_0"] {
+        assert!(
+            apps.contains(&format!(";{frame};")),
+            "apps_table1.collapsed must carry a {frame} phase frame"
+        );
+    }
+    let att = std::fs::read_to_string(dir.join(FIXTURES[2])).expect("attribution emitted");
+    let astats = attribution::check_attribution(&att).expect("valid attribution.json");
+    assert!(
+        astats.sweeps >= 2,
+        "both sweeps folded into attribution.json"
+    );
+    assert!(astats.phases > 0, "phase slices present");
 
     if std::env::var("UPDATE_GOLDEN").is_ok() {
         for name in FIXTURES {

@@ -144,6 +144,101 @@ fn attribution_gate_share_grows_with_period_and_wire_stays_flat() {
     }
 }
 
+/// The Redis-vs-Graph500 asymmetry (Table I / Fig. 5), seen through
+/// per-phase attribution: raising PERIOD concentrates BFS's gate-wait
+/// time in the mid/deep frontier levels (where the big frontiers issue
+/// saturating window-loads of remote reads), while Redis's per-request
+/// cost stays pinned to the constant network-stack phase — its stack
+/// share barely moves. Same injection, opposite anatomy.
+#[test]
+fn phase_attribution_shows_redis_graph500_asymmetry() {
+    use thymesim_telemetry::{SweepAttribution, TraceRecorder};
+    let periods = [1u64, 400];
+    let scale = AppScale::tiny();
+
+    // BFS, traced per point with a thread-local recorder (no global
+    // telemetry config, so this cannot interfere with other tests).
+    let bfs_traces: Vec<_> = periods
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            thymesim_telemetry::install(TraceRecorder::new(i, 0));
+            let mut tb = Testbed::build(&TestbedConfig::tiny().with_period(p)).unwrap();
+            run_graph500(
+                &mut tb,
+                &scale.graph_parallel,
+                GraphKernel::Bfs,
+                Placement::Remote,
+                false,
+            );
+            thymesim_telemetry::take().expect("recorder installed")
+        })
+        .collect();
+    let bfs = SweepAttribution::fold("paper-shape/bfs", periods.len(), &bfs_traces, &[]);
+
+    // Share of the gate-wait stage carried by mid/deep frontier levels
+    // (level >= 2): the wavefront levels where the frontier saturates
+    // the fetch window.
+    let deep_gate_share: Vec<f64> = bfs
+        .per_point
+        .iter()
+        .map(|p| {
+            let gate = p.slice("fabric.gate_wait").expect("gate stage recorded");
+            let deep: u64 = gate
+                .phases
+                .iter()
+                .filter(|ph| {
+                    ph.label()
+                        .strip_prefix("bfs_level_")
+                        .and_then(|l| l.parse::<u64>().ok())
+                        .is_some_and(|l| l >= 2)
+                })
+                .map(|ph| ph.total_ps)
+                .sum();
+            deep as f64 / gate.total_ps as f64
+        })
+        .collect();
+
+    // Redis: the per-request network-stack phase (kv.stack, recorded
+    // once per batch at the fixed server_stack cost) versus the remote
+    // memory time the request also pays.
+    let kv_stack_share: Vec<f64> = periods
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            thymesim_telemetry::install(TraceRecorder::new(i, 0));
+            let mut tb = Testbed::build(&TestbedConfig::tiny().with_period(p)).unwrap();
+            run_kv(&mut tb, &scale.kv, Placement::Remote);
+            let t = thymesim_telemetry::take().expect("recorder installed");
+            let att = SweepAttribution::fold("paper-shape/kv", 1, &[t], &[]);
+            let point = &att.per_point[0];
+            let stack = point.slice("kv.stack").expect("stack stage recorded");
+            stack.total_ps as f64 / (stack.total_ps + point.read_total_ps) as f64
+        })
+        .collect();
+
+    eprintln!("deep_gate_share = {deep_gate_share:?}");
+    eprintln!("kv_stack_share  = {kv_stack_share:?}");
+
+    // BFS: injected delay piles onto the deep levels as PERIOD grows.
+    assert!(
+        deep_gate_share[1] > deep_gate_share[0],
+        "gate wait must concentrate in mid/deep BFS levels: {deep_gate_share:?}"
+    );
+    assert!(
+        deep_gate_share[1] > 0.99,
+        "at PERIOD=400 nearly all gate wait sits in deep levels: {deep_gate_share:?}"
+    );
+    // Redis: the stack share moves far less than BFS's deep-level
+    // concentration — the request cost is pinned to the stack, which is
+    // why Table I shows Redis ~flat while Graph500 collapses.
+    let kv_drift = kv_stack_share[0] / kv_stack_share[1];
+    assert!(
+        kv_drift < 2.0,
+        "KV network-stack share must stay ~flat across PERIOD: {kv_stack_share:?}"
+    );
+}
+
 /// §III-B: the injected range tops out near the 90th percentile of the
 /// datacenter envelope, and PERIOD=10000's ~4 ms is far beyond the 99th.
 #[test]

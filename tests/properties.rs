@@ -46,6 +46,39 @@ fn enc(stage: u64, ns: u64) -> u64 {
     (ns - 1) * STAGE_NAMES.len() as u64 + stage
 }
 
+/// Phase-name table for phased synthetic points. Slot 0 of the phase
+/// field means "between markers" (the observation lands in `unphased`).
+const PHASE_NAMES: [&str; 3] = ["copy", "bfs.level", "kv.steady"];
+
+/// Like `synth_point`, but each packed observation also selects the
+/// workload phase it lands in: after the stage bits, the next field
+/// picks a phase (0 = no marker active), the rest is the duration.
+/// Each observation carries its own phase, so reordering observations
+/// preserves the (stage, phase, duration) multiset.
+fn synth_phased_point(index: usize, obs: &[u64]) -> PointTrace {
+    let mut r = TraceRecorder::new(index, 16);
+    let nstages = STAGE_NAMES.len() as u64;
+    let nphases = PHASE_NAMES.len() as u64 + 1;
+    for v in obs {
+        let stage = (v % nstages) as usize;
+        let rest = v / nstages;
+        let phase = (rest % nphases) as usize;
+        let ns = rest / nphases + 1;
+        if phase == 0 {
+            r.phase_end();
+        } else {
+            let name = PHASE_NAMES[phase - 1];
+            // Give the indexed-phase family (BFS-level style) a level
+            // number so sorting by (name, index) is exercised too.
+            let idx = (name == "bfs.level").then_some(ns % 3);
+            r.phase_begin(name, idx);
+        }
+        r.latency(STAGE_NAMES[stage], thymesim::sim::Dur::ns(ns));
+    }
+    r.phase_end();
+    r.finish()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -196,6 +229,80 @@ proptest! {
         );
     }
 
+    /// Per-phase attribution invariant: for arbitrary phase-annotated
+    /// observations, each stage's phase sub-slices partition the stage
+    /// integer-exactly (counts and picosecond totals), and the per-point
+    /// phase index reproduces from the anatomy sub-totals.
+    #[test]
+    fn prop_phase_slices_partition_each_stage(
+        points in proptest::collection::vec(
+            proptest::collection::vec(0u64..8_000_000, 1..24),
+            1..6,
+        ),
+    ) {
+        let traces: Vec<PointTrace> = points
+            .iter()
+            .enumerate()
+            .map(|(i, obs)| synth_phased_point(i, obs))
+            .collect();
+        let att = SweepAttribution::fold("prop", traces.len(), &traces, &[]);
+        for p in att.per_point.iter().chain(std::iter::once(&att.merged)) {
+            for s in p.anatomy.iter().chain(&p.other) {
+                prop_assert!(!s.phases.is_empty(), "recorded stage {} has no phase buckets", &s.stage);
+                let count: u64 = s.phases.iter().map(|ph| ph.count).sum();
+                let total: u64 = s.phases.iter().map(|ph| ph.total_ps).sum();
+                prop_assert_eq!(count, s.count, "phase counts must partition stage {}", &s.stage);
+                prop_assert_eq!(total, s.total_ps, "phase totals must partition stage {}", &s.stage);
+            }
+            let indexed: u64 = p.phases.iter().map(|pt| pt.read_total_ps).sum();
+            let from_slices: u64 = p
+                .anatomy
+                .iter()
+                .flat_map(|s| s.phases.iter().map(|ph| ph.total_ps))
+                .sum();
+            prop_assert_eq!(indexed, from_slices, "phase index must match anatomy sub-totals");
+        }
+        // The rendered collapsed stacks pass the structural validator,
+        // phase-frame rules included.
+        let stats = thymesim_telemetry::attribution::check_collapsed(&att.collapsed())
+            .map_err(TestCaseError::fail)?;
+        prop_assert!(stats.phases >= stats.points);
+    }
+
+    /// Per-phase folding is order-independent: reversing both point
+    /// order and within-point observation order produces identical
+    /// reports, phase sub-slices and collapsed phase frames included.
+    #[test]
+    fn prop_phased_fold_is_order_independent(
+        points in proptest::collection::vec(
+            proptest::collection::vec(0u64..8_000_000, 1..24),
+            2..6,
+        ),
+    ) {
+        let forward: Vec<PointTrace> = points
+            .iter()
+            .enumerate()
+            .map(|(i, obs)| synth_phased_point(i, obs))
+            .collect();
+        let backward: Vec<PointTrace> = points
+            .iter()
+            .enumerate()
+            .rev()
+            .map(|(i, obs)| {
+                let rev: Vec<u64> = obs.iter().rev().copied().collect();
+                synth_phased_point(i, &rev)
+            })
+            .collect();
+        let a = SweepAttribution::fold("prop", points.len(), &forward, &[]);
+        let b = SweepAttribution::fold("prop", points.len(), &backward, &[]);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.collapsed(), b.collapsed());
+        prop_assert_eq!(
+            serde_json::to_string(&a.to_value()).unwrap(),
+            serde_json::to_string(&b.to_value()).unwrap()
+        );
+    }
+
     /// Attach either succeeds before the discovery budget or fails with a
     /// timeout — never hangs, never reports success late.
     #[test]
@@ -238,4 +345,27 @@ fn attribution_degenerate_sweeps_do_not_panic() {
     assert_eq!(silent.per_point[0].read_total_ps, 0);
     assert!(silent.per_point[0].anatomy.is_empty());
     assert_eq!(silent.collapsed(), "");
+}
+
+/// A trace that never saw a phase marker folds every stage into a
+/// single `unphased` sub-slice carrying the full stage total, and its
+/// collapsed output is byte-identical to a phase-unaware trace (one
+/// with no per-phase buckets at all) — today's single-frame shape.
+#[test]
+fn unmarked_trace_folds_to_single_unphased_frame() {
+    let t = synth_point(0, &[enc(2, 500), enc(2, 700), enc(6, 40)]);
+    let att = SweepAttribution::fold("deg", 1, std::slice::from_ref(&t), &[]);
+    let p = &att.per_point[0];
+    for s in p.anatomy.iter().chain(&p.other) {
+        assert_eq!(s.phases.len(), 1, "stage {} not single-phase", s.stage);
+        assert_eq!(s.phases[0].label(), "unphased");
+        assert_eq!(s.phases[0].count, s.count);
+        assert_eq!(s.phases[0].total_ps, s.total_ps);
+    }
+    assert!(att.collapsed().contains(";unphased;read;gate_wait "));
+
+    let mut stripped = t;
+    stripped.phased.clear();
+    let bare = SweepAttribution::fold("deg", 1, &[stripped], &[]);
+    assert_eq!(att.collapsed(), bare.collapsed());
 }
