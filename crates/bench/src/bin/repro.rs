@@ -27,23 +27,29 @@
 //!   with a workload-phase frame between point and stage
 //!   (`root;point_N;<phase>;read;gate_wait`), and a merged
 //!   `attribution.json` of per-stage shares and means with per-phase
-//!   sub-slices that sum exactly to each stage.
+//!   sub-slices that sum exactly to each stage. Windowed counter
+//!   samples (`util.*` tracks: credit occupancy, link/DRAM busy
+//!   fractions, gate queue depth, outstanding reads, LLC miss rate)
+//!   render into the same `<sweep>.trace.json`, and their folds land
+//!   in a merged `utilization.json` of time-weighted means, peaks and
+//!   saturation metrics per point and per sweep.
 //!   The optional filter substring selects which sweeps record.
 //!   Tracing never changes `results/` — it is observational.
 //!   Cached points record nothing; pair with `--no-cache` for full
 //!   timelines.
 //! * `--baseline-record[=<path>]` — after the run, snapshot every
 //!   sweep's merged per-stage means (and per-workload-phase means
-//!   within each stage) into a baseline JSON (default
+//!   within each stage) plus the merged time-weighted utilization mean
+//!   of every counter track into a baseline JSON (default
 //!   `results/baselines/<profile>.json`). Implies `--no-cache` and
 //!   stage recording (without writing trace files unless `--trace` is
 //!   also given).
-//! * `--baseline-check[=<path>]` — compare the run's stage and phase
-//!   means against the committed baseline with per-stage and per-phase
-//!   tolerance bands. Prints each offending stage delta — naming the
-//!   phase when the drift is phase-confined — and exits 1 on drift (2
-//!   when the baseline is missing/malformed or pins a different
-//!   command).
+//! * `--baseline-check[=<path>]` — compare the run's stage, phase and
+//!   counter-utilization means against the committed baseline with
+//!   per-band tolerances. Prints each offending delta — naming the
+//!   phase when the drift is phase-confined, and `counter <name>` when
+//!   it is utilization-confined — and exits 1 on drift (2 when the
+//!   baseline is missing/malformed or pins a different command).
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -185,6 +191,14 @@ fn main() {
         if let Some(path) = thymesim_telemetry::write_attribution() {
             eprintln!("# wrote {}", path.display());
         }
+        match thymesim_telemetry::write_utilization() {
+            Ok(Some(path)) => eprintln!("# wrote {}", path.display()),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("# error: cannot write utilization.json: {e}");
+                std::process::exit(1);
+            }
+        }
         if let Some(mode) = baseline {
             run_baseline(mode, cmd, &profile);
         }
@@ -236,22 +250,29 @@ fn run_baseline(mode: BaselineMode, cmd: &str, profile: &Profile) {
     use thymesim_telemetry::baseline::{Baseline, DEFAULT_REL_TOL};
     let label = format!("{cmd} --profile {}", profile.name);
     let atts = thymesim_telemetry::attributions();
+    let utils = thymesim_telemetry::utilizations();
     if atts.is_empty() {
         eprintln!("# baseline: no sweeps recorded stage data; nothing to do");
         std::process::exit(2);
     }
     match mode {
         BaselineMode::Record(path) => {
-            let b = Baseline::record(&label, &atts, DEFAULT_REL_TOL);
+            let b = Baseline::record(&label, &atts, &utils, DEFAULT_REL_TOL);
             if let Some(dir) = path.parent() {
-                std::fs::create_dir_all(dir).expect("create baseline directory");
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("# baseline: cannot create directory {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
             }
             let text = serde_json::to_string_pretty(&b).expect("baseline serializes");
-            std::fs::write(&path, text + "\n")
-                .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            if let Err(e) = std::fs::write(&path, text + "\n") {
+                eprintln!("# baseline: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
             eprintln!(
-                "# baseline: recorded {} stages over {} sweeps to {}",
+                "# baseline: recorded {} stages and {} counters over {} sweeps to {}",
                 b.stage_count(),
+                b.counter_count(),
                 b.sweeps.len(),
                 path.display()
             );
@@ -276,16 +297,17 @@ fn run_baseline(mode: BaselineMode, cmd: &str, profile: &Profile) {
                 );
                 std::process::exit(2);
             }
-            let drifts = b.check(&atts);
+            let drifts = b.check(&atts, &utils);
             if drifts.is_empty() {
                 eprintln!(
-                    "# baseline: OK — {} stages within tolerance of {}",
+                    "# baseline: OK — {} stages and {} counters within tolerance of {}",
                     b.stage_count(),
+                    b.counter_count(),
                     path.display()
                 );
             } else {
                 eprintln!(
-                    "# baseline: DRIFT — {} stage(s) outside tolerance of {}:",
+                    "# baseline: DRIFT — {} band(s) outside tolerance of {}:",
                     drifts.len(),
                     path.display()
                 );

@@ -6,7 +6,10 @@
 //! * `*.trace.json` — Chrome-trace/Perfetto timelines: well-formed
 //!   JSON, events with `ph`/`name`, nondecreasing timestamps, complete
 //!   events with a nonnegative `dur`, counters with an `args` object,
-//!   balanced B/E pairs per lane.
+//!   balanced B/E pairs per lane. `util.*` windowed counter tracks are
+//!   checked against the stronger rules: strictly increasing window
+//!   timestamps per `(pid, track)`, busy/ratio fractions within [0, 1],
+//!   and bounded levels (credit occupancy) never exceeding their bound.
 //! * `*.collapsed` — collapsed-stack attribution reports, in exactly
 //!   the shape `flamegraph.pl` / `inferno-flamegraph` parse:
 //!   `frame;frame;... <integer count>` per line; point-anchored lines
@@ -16,20 +19,29 @@
 //!   shares in [0, 1] summing to 1 per attributed point, means
 //!   consistent with totals and counts, per-phase sub-slices summing
 //!   exactly to their stage and free of orphan phases.
+//! * `utilization.json` — windowed counter folds: schema version,
+//!   name-sorted counters, fractions within [0, 1], saturation time
+//!   within coverage within horizon, means consistent with the integer
+//!   accumulators.
 //!
 //! ```text
 //! cargo run --release -p thymesim-bench --bin trace_check -- \
-//!     traces/*.trace.json traces/*.collapsed traces/attribution.json
+//!     traces/*.trace.json traces/*.collapsed traces/attribution.json \
+//!     traces/utilization.json
 //! ```
 //!
-//! Exit status: 0 when every file validates, 1 otherwise.
+//! Every failure in a file is reported, not just the first, and the
+//! checker keeps going across files. Exit status: 0 when every file
+//! validates, 1 otherwise.
 
-use thymesim_telemetry::{attribution, chrome};
+use thymesim_telemetry::{attribution, chrome, counters};
 
 fn main() {
     let files: Vec<String> = std::env::args().skip(1).collect();
     if files.is_empty() {
-        eprintln!("usage: trace_check <trace.json|*.collapsed|attribution.json>...");
+        eprintln!(
+            "usage: trace_check <trace.json|*.collapsed|attribution.json|utilization.json>..."
+        );
         std::process::exit(2);
     }
     let mut failed = false;
@@ -42,32 +54,47 @@ fn main() {
                 continue;
             }
         };
-        let verdict = if path.ends_with(".collapsed") {
-            attribution::check_collapsed(&text).map(|stats| {
-                format!(
-                    "ok ({} stacks over {} points / {} phase towers, {} ps total)",
-                    stats.lines, stats.points, stats.phases, stats.total
-                )
-            })
+        let verdict: Result<String, Vec<String>> = if path.ends_with(".collapsed") {
+            attribution::check_collapsed(&text)
+                .map(|stats| {
+                    format!(
+                        "ok ({} stacks over {} points / {} phase towers, {} ps total)",
+                        stats.lines, stats.points, stats.phases, stats.total
+                    )
+                })
+                .map_err(|e| vec![e])
         } else if path.ends_with("attribution.json") {
-            attribution::check_attribution(&text).map(|stats| {
+            attribution::check_attribution(&text)
+                .map(|stats| {
+                    format!(
+                        "ok ({} sweeps, {} points, {} stage slices, {} phase slices)",
+                        stats.sweeps, stats.points, stats.slices, stats.phases
+                    )
+                })
+                .map_err(|e| vec![e])
+        } else if path.ends_with("utilization.json") {
+            counters::check_utilization(&text).map(|stats| {
                 format!(
-                    "ok ({} sweeps, {} points, {} stage slices, {} phase slices)",
-                    stats.sweeps, stats.points, stats.slices, stats.phases
+                    "ok ({} sweeps, {} points, {} counter reports)",
+                    stats.sweeps, stats.points, stats.counters
                 )
             })
         } else {
-            chrome::check(&text).map(|stats| {
+            chrome::check_all(&text).map(|stats| {
                 format!(
-                    "ok ({} events: {} spans, {} instants, {} counter samples)",
-                    stats.events, stats.spans, stats.instants, stats.counters
+                    "ok ({} events: {} spans, {} instants, {} counter samples, \
+                     {} windowed utilization samples)",
+                    stats.events, stats.spans, stats.instants, stats.counters, stats.util_counters
                 )
             })
         };
         match verdict {
             Ok(msg) => println!("{path}: {msg}"),
-            Err(e) => {
-                eprintln!("{path}: INVALID: {e}");
+            Err(errors) => {
+                eprintln!("{path}: INVALID ({} failure(s)):", errors.len());
+                for e in &errors {
+                    eprintln!("{path}:   {e}");
+                }
                 failed = true;
             }
         }

@@ -3,8 +3,9 @@
 //!
 //! 1. record a baseline for the pinned quick config;
 //! 2. an identical re-run passes the check (deterministic simulator);
-//! 3. perturbing one stage mean beyond tolerance makes the check exit
-//!    nonzero *naming that stage* — the negative path CI relies on;
+//! 3. perturbing one stage mean, one phase band, or one counter
+//!    utilization mean beyond tolerance makes the check exit nonzero
+//!    *naming that band* — the negative paths CI relies on;
 //! 4. a baseline pinning a different command, or a malformed file, is
 //!    refused with exit 2 rather than silently compared.
 //!
@@ -59,6 +60,11 @@ fn baseline_gate_round_trip_and_negative_path() {
     let base: Baseline = serde_json::from_str(&text).expect("baseline parses");
     assert_eq!(base.command, "validate --profile quick");
     assert!(base.stage_count() >= 6, "anatomy stages pinned");
+    assert!(
+        base.counter_count() >= 4,
+        "utilization counters pinned, got {}",
+        base.counter_count()
+    );
 
     // 2. A clean re-run is within tolerance (exactly equal, in fact).
     let out = check_against(&bl);
@@ -124,6 +130,33 @@ fn baseline_gate_round_trip_and_negative_path() {
     assert!(
         err.contains(&stage_name),
         "offending stage {stage_name} must be named: {err}"
+    );
+
+    // 3c. Perturb one *counter* utilization mean while leaving every
+    //     stage and phase band untouched: drift confined to a counter
+    //     track must still exit 1, naming `counter <name>`.
+    let mut counter_bad = base.clone();
+    let counter_name = {
+        let counter = counter_bad.sweeps[0]
+            .counters
+            .iter_mut()
+            .find(|c| c.mean > 0.0)
+            .expect("a populated counter band in the baseline");
+        counter.mean *= 1.5;
+        counter.name.clone()
+    };
+    let counter_bad_path = dir.join("counter_bad.json");
+    std::fs::write(
+        &counter_bad_path,
+        serde_json::to_string_pretty(&counter_bad).unwrap(),
+    )
+    .unwrap();
+    let out = check_against(&counter_bad_path);
+    assert_eq!(out.status.code(), Some(1), "counter drift must exit 1");
+    let err = stderr_of(&out);
+    assert!(
+        err.contains(&format!("counter {counter_name}")),
+        "offending counter {counter_name} must be named: {err}"
     );
 
     // 4a. A baseline recorded from a different command is refused.

@@ -44,13 +44,18 @@ impl Testbed {
         at: Time,
         lender_bus: SharedDram,
     ) -> Result<Testbed, AttachError> {
-        // Borrower node.
+        // Borrower node. The two node buses carry windowed busy tracks
+        // (exclusively claimed: with several testbeds in one point only
+        // the first records, keeping each busy fraction within [0, 1]).
+        lender_bus.borrow_mut().set_track("mem.dram_busy.lender");
+        let local_bus = shared_dram(cfg.borrower.dram);
+        local_bus.borrow_mut().set_track("mem.dram_busy.local");
         let map = AddressMap::new(cfg.local_size, cfg.remote_size, cfg.fabric.line_bytes);
         let engine = FabricEngine::new(cfg.fabric.clone(), SharedDram::clone(&lender_bus));
         let mut borrower = MemSystem::new(
             map,
             cfg.borrower.cache,
-            shared_dram(cfg.borrower.dram),
+            local_bus,
             cfg.borrower.timing,
             engine,
         );

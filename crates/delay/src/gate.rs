@@ -15,6 +15,7 @@
 //! proof.
 
 use thymesim_axi::stage::{passthrough_offer, Flags, Offers, Stage, NO_FLAGS, NO_OFFERS};
+use thymesim_sim::Clock;
 
 /// Supplies the `PERIOD` value for a given cycle, enabling the paper's
 /// future-work extension (varying delay within a run) without changing the
@@ -172,6 +173,11 @@ pub struct CycleDelayGate<P: PeriodSource> {
     pub forwarded: u64,
     /// Cycles in which upstream was valid but the gate held READY low.
     pub gated_cycles: u64,
+    /// When set, the gate emits virtual-time utilization counters
+    /// (`gate.busy` per forwarded cycle, `gate.queue_depth` per gated
+    /// cycle) by mapping cycle numbers through this clock — the same
+    /// tracks the analytic model records, at cycle granularity.
+    clock: Option<Clock>,
 }
 
 impl<P: PeriodSource> CycleDelayGate<P> {
@@ -181,6 +187,19 @@ impl<P: PeriodSource> CycleDelayGate<P> {
             pending: false,
             forwarded: 0,
             gated_cycles: 0,
+            clock: None,
+        }
+    }
+
+    /// Like [`CycleDelayGate::new`], but with a wall clock so the gate
+    /// reports utilization counter tracks in virtual time. The tracks
+    /// are claimed exclusively per point (shared with the analytic
+    /// gate's): only the first claimant records, so busy fractions stay
+    /// within [0, 1] when several gates run in one point.
+    pub fn with_clock(period: P, clock: Clock) -> CycleDelayGate<P> {
+        CycleDelayGate {
+            clock: (thymesim_telemetry::claim("gate.busy") == 0).then_some(clock),
+            ..CycleDelayGate::new(period)
         }
     }
 
@@ -221,9 +240,24 @@ impl<P: PeriodSource> Stage for CycleDelayGate<P> {
         if fired_in[0].is_some() {
             self.forwarded += 1;
             self.pending = false;
+            if let Some(ck) = self.clock {
+                thymesim_telemetry::counter_busy(
+                    "gate.busy",
+                    ck.time_of_cycle(cycle),
+                    ck.time_of_cycle(cycle + 1),
+                );
+            }
         } else {
             if inputs[0].is_some() {
                 self.gated_cycles += 1;
+                if let Some(ck) = self.clock {
+                    thymesim_telemetry::counter_level(
+                        "gate.queue_depth",
+                        ck.time_of_cycle(cycle),
+                        ck.time_of_cycle(cycle + 1),
+                        1,
+                    );
+                }
             }
             self.pending = exposed;
         }

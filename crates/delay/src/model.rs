@@ -27,6 +27,11 @@ pub struct AnalyticGate<P: PeriodSource> {
     last_grant: Option<u64>,
     /// Beats granted so far.
     pub granted: u64,
+    /// Does this gate own the point's `gate.busy` / `gate.queue_depth`
+    /// counter tracks (exclusively claimed: first gate constructed
+    /// records, so busy fractions stay within [0, 1] when several
+    /// engines share one point)?
+    tracked: bool,
 }
 
 #[inline]
@@ -41,6 +46,7 @@ impl<P: PeriodSource> AnalyticGate<P> {
             clock,
             last_grant: None,
             granted: 0,
+            tracked: thymesim_telemetry::claim("gate.busy") == 0,
         }
     }
 
@@ -85,6 +91,14 @@ impl<P: PeriodSource> AnalyticGate<P> {
         let t = self.clock.time_of_cycle(g + 1);
         // Injected-delay accounting: arrival-to-crossing per beat.
         thymesim_telemetry::latency("gate.delay", t - at);
+        if self.tracked {
+            // Each waiting beat is a unit level over [arrival, crossing);
+            // overlapping segments sum to the instantaneous queue depth.
+            thymesim_telemetry::counter_level("gate.queue_depth", at, t, 1);
+            // The granted cycle occupies the gate (grants are ≥ PERIOD
+            // apart, so the busy intervals never overlap).
+            thymesim_telemetry::counter_busy("gate.busy", self.clock.time_of_cycle(g), t);
+        }
         t
     }
 

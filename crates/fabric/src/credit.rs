@@ -19,16 +19,32 @@ pub struct CreditWindow {
     pub admitted: u64,
     /// Accumulated credit-wait (admission - request).
     pub wait_ps: u128,
+    /// Start of the current constant-occupancy segment (telemetry only):
+    /// the occupancy timeline is emitted as exact level segments, one per
+    /// interval over which `inflight.len()` is unchanged. The final
+    /// in-flight tail (after the last admission) is never emitted — a
+    /// documented undercount of at most `window × line` transactions'
+    /// worth of occupancy-time at the end of the run.
+    level_since: Time,
+    /// Does this window own the point's `credit.occupancy` counter
+    /// track (exclusively claimed: first window constructed records)?
+    tracked: bool,
 }
 
 impl CreditWindow {
     pub fn new(cap: usize) -> CreditWindow {
         assert!(cap >= 1, "window must admit at least one transaction");
+        let tracked = thymesim_telemetry::claim("credit.occupancy") == 0;
+        if tracked {
+            thymesim_telemetry::counter_bound("credit.occupancy", cap as u64);
+        }
         CreditWindow {
             cap,
             inflight: BinaryHeap::with_capacity(cap + 1),
             admitted: 0,
             wait_ps: 0,
+            level_since: Time::ZERO,
+            tracked,
         }
     }
 
@@ -40,12 +56,29 @@ impl CreditWindow {
         self.inflight.len()
     }
 
+    /// Close the constant-occupancy segment ending at `now` (telemetry).
+    fn note_level(&mut self, now: Time) {
+        if !self.tracked {
+            return;
+        }
+        let now = now.max2(self.level_since);
+        thymesim_telemetry::counter_level(
+            "credit.occupancy",
+            self.level_since,
+            now,
+            self.inflight.len() as u64,
+        );
+        self.level_since = now;
+    }
+
     /// Earliest time at or after `at` when a credit is available. Frees
     /// every credit whose transaction completes by that time.
     pub fn acquire(&mut self, at: Time) -> Time {
-        // Retire transactions that completed by `at`.
+        // Retire transactions that completed by `at`, one at a time in
+        // completion order so the occupancy timeline is exact.
         while let Some(&Reverse(done)) = self.inflight.peek() {
             if done <= at.as_ps() {
+                self.note_level(Time(done));
                 self.inflight.pop();
             } else {
                 break;
@@ -54,9 +87,12 @@ impl CreditWindow {
         let t = if self.inflight.len() < self.cap {
             at
         } else {
-            let Reverse(done) = self.inflight.pop().expect("window non-empty");
+            let Reverse(done) = *self.inflight.peek().expect("window non-empty");
+            self.note_level(Time(done));
+            self.inflight.pop();
             Time(done).max2(at)
         };
+        self.note_level(t);
         self.admitted += 1;
         self.wait_ps += (t - at).as_ps() as u128;
         thymesim_telemetry::latency("credit.wait", t - at);
@@ -88,6 +124,7 @@ impl CreditWindow {
         self.inflight.clear();
         self.admitted = 0;
         self.wait_ps = 0;
+        self.level_since = Time::ZERO;
     }
 }
 

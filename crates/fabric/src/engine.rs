@@ -166,6 +166,9 @@ pub struct FabricEngine {
     gate: Gate,
     tx: SerialLink,
     rx: SerialLink,
+    /// Does this engine own the point's `fabric.outstanding_reads`
+    /// counter track (first engine constructed in the point)?
+    reads_tracked: bool,
     /// Shared fabric segments after the access link (switch hops toward
     /// the lender) — beyond-rack topologies. Each hop adds forwarding
     /// latency plus shared serialization.
@@ -187,11 +190,19 @@ pub struct FabricEngine {
 impl FabricEngine {
     pub fn new(cfg: FabricConfig, lender_bus: SharedDram) -> FabricEngine {
         let gate = Gate::new(&cfg.delay, cfg.fpga_clock);
+        // Exclusively claimed per point: with several engines in one
+        // point (congestion pairs) only the first records, keeping the
+        // level within its bound and link fractions within [0, 1].
+        let reads_tracked = thymesim_telemetry::claim("fabric.outstanding_reads") == 0;
+        if reads_tracked {
+            thymesim_telemetry::counter_bound("fabric.outstanding_reads", cfg.window as u64);
+        }
         FabricEngine {
             window: CreditWindow::new(cfg.window),
             gate,
-            tx: SerialLink::new(cfg.link),
-            rx: SerialLink::new(cfg.link),
+            reads_tracked,
+            tx: SerialLink::new(cfg.link).with_track("net.link_busy.tx"),
+            rx: SerialLink::new(cfg.link).with_track("net.link_busy.rx"),
             lender_bus,
             health: HealthMonitor::default(),
             outages: OutagePlan::new(),
@@ -361,6 +372,10 @@ impl RemoteBackend for FabricEngine {
         thymesim_telemetry::latency("fabric.return", done - t_data);
         self.window.complete_at(done);
         thymesim_telemetry::span("fabric", "read", at, done);
+        // Unit level segments over [admit, done) sum to the in-flight count.
+        if self.reads_tracked {
+            thymesim_telemetry::counter_level("fabric.outstanding_reads", t0, done, 1);
+        }
 
         let latency = done - at;
         self.stats.read_latency.record(latency.as_ps());

@@ -184,6 +184,16 @@ impl Cache {
         Lookup::Miss { writeback }
     }
 
+    /// Like [`Cache::access`], but stamped with the virtual time of the
+    /// access so the miss rate is reported as a windowed utilization
+    /// counter (`mem.llc_miss_rate`: misses / accesses per window).
+    pub fn access_at(&mut self, at: thymesim_sim::Time, a: Addr, write: bool) -> Lookup {
+        let r = self.access(a, write);
+        let miss = matches!(r, Lookup::Miss { .. });
+        thymesim_telemetry::counter_ratio("mem.llc_miss_rate", at, miss as u64, 1);
+        r
+    }
+
     /// Probe without modifying state (used by tests and invariant checks).
     pub fn contains(&self, a: Addr) -> bool {
         let (set, tag) = self.set_and_tag(a);

@@ -61,6 +61,9 @@ pub struct DramChannel {
     pub accesses: u64,
     /// Accumulated queueing delay (start - arrival).
     pub queue_wait_ps: u128,
+    /// Windowed busy-fraction counter track, opt-in via
+    /// [`DramChannel::set_track`]. `None` records nothing.
+    track: Option<&'static str>,
 }
 
 impl DramChannel {
@@ -74,7 +77,21 @@ impl DramChannel {
             bytes_moved: 0,
             accesses: 0,
             queue_wait_ps: 0,
+            track: None,
             cfg,
+        }
+    }
+
+    /// Record this channel's bus occupancy on the named windowed
+    /// busy-fraction track. The name is claimed exclusively per
+    /// simulated point: only the first channel claiming it records, so
+    /// the track always describes one serial bus and its window
+    /// fractions stay within [0, 1] even when an experiment builds
+    /// several nodes in one point. Idempotent on an already-labelled
+    /// channel (pooling shares one lender bus across testbeds).
+    pub fn set_track(&mut self, track: &'static str) {
+        if self.track.is_none() && thymesim_telemetry::claim(track) == 0 {
+            self.track = Some(track);
         }
     }
 
@@ -97,6 +114,9 @@ impl DramChannel {
             self.bytes_moved += bytes;
             self.accesses += 1;
             self.queue_wait_ps += (start - at).as_ps() as u128;
+            if let Some(track) = self.track {
+                thymesim_telemetry::counter_busy(track, start, start + busy);
+            }
             return BusAccess {
                 start,
                 done: start + busy + self.cfg.latency,
@@ -113,6 +133,9 @@ impl DramChannel {
         self.bytes_moved += bytes;
         self.accesses += 1;
         self.queue_wait_ps += (start - at).as_ps() as u128;
+        if let Some(track) = self.track {
+            thymesim_telemetry::counter_busy(track, start, start + busy);
+        }
         BusAccess { start, done }
     }
 

@@ -141,7 +141,7 @@ impl<R: RemoteBackend> MemSystem<R> {
             self.stats.reads += 1;
         }
         let line = self.map.line_of(addr);
-        match self.cache.access(line, write) {
+        match self.cache.access_at(at, line, write) {
             Lookup::Hit => (at + self.timing.llc_hit, false),
             Lookup::Miss { writeback } => {
                 // Retire the victim first (posted; costs bandwidth, not

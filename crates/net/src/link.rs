@@ -43,6 +43,9 @@ pub struct SerialLink {
     pub bytes_sent: u64,
     pub messages: u64,
     queue_wait_ps: u128,
+    /// Windowed busy-fraction counter track, opt-in via
+    /// [`SerialLink::with_track`]. `None` records nothing.
+    track: Option<&'static str>,
 }
 
 impl SerialLink {
@@ -55,7 +58,21 @@ impl SerialLink {
             bytes_sent: 0,
             messages: 0,
             queue_wait_ps: 0,
+            track: None,
         }
+    }
+
+    /// Record this link's occupancy on the named windowed busy-fraction
+    /// track. The name is claimed exclusively per simulated point: only
+    /// the first link claiming it records, so a busy track always
+    /// describes one serial wire and its window fractions stay within
+    /// [0, 1] even when an experiment builds several identically
+    /// labelled links in one point.
+    pub fn with_track(mut self, track: &'static str) -> SerialLink {
+        if thymesim_telemetry::claim(track) == 0 {
+            self.track = Some(track);
+        }
+        self
     }
 
     pub fn config(&self) -> LinkConfig {
@@ -72,6 +89,9 @@ impl SerialLink {
         self.queue_wait_ps += (start - at).as_ps() as u128;
         thymesim_telemetry::latency("link.queue_wait", start - at);
         thymesim_telemetry::add("link.bytes", bytes);
+        if let Some(track) = self.track {
+            thymesim_telemetry::counter_busy(track, start, start + ser);
+        }
         start + ser + self.cfg.propagation
     }
 

@@ -19,6 +19,7 @@
 //! refused rather than compared apples-to-oranges.
 
 use crate::attribution::SweepAttribution;
+use crate::counters::SweepUtilization;
 use serde::{Deserialize, Serialize};
 
 /// Bump when the baseline file format changes.
@@ -52,11 +53,26 @@ pub struct BaselineStage {
     pub phases: Vec<BaselinePhase>,
 }
 
+/// One utilization counter's pinned expectation: the time-weighted mean
+/// of the sweep-merged counter track (from the counter fold).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BaselineCounter {
+    /// Counter-track name (`net.link_busy`, `credit.occupancy`, ...).
+    pub name: String,
+    /// Merged time-weighted mean.
+    pub mean: f64,
+    /// Relative tolerance band (fraction, not percent).
+    pub rel_tol: f64,
+}
+
 /// One sweep's pinned stage set.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct BaselineSweep {
     pub sweep: String,
     pub stages: Vec<BaselineStage>,
+    /// Pinned utilization-counter means, name-sorted. Drift in one of
+    /// these is reported with the stage named `counter <name>`.
+    pub counters: Vec<BaselineCounter>,
 }
 
 /// A committed per-stage regression baseline.
@@ -70,12 +86,32 @@ pub struct Baseline {
 }
 
 impl Baseline {
-    /// Snapshot the merged stage means of every folded sweep.
-    pub fn record(command: &str, atts: &[SweepAttribution], rel_tol: f64) -> Baseline {
+    /// Snapshot the merged stage means of every folded sweep, plus the
+    /// merged time-weighted utilization mean of every counter track.
+    pub fn record(
+        command: &str,
+        atts: &[SweepAttribution],
+        utils: &[SweepUtilization],
+        rel_tol: f64,
+    ) -> Baseline {
         let mut sweeps: Vec<BaselineSweep> = atts
             .iter()
             .map(|att| BaselineSweep {
                 sweep: att.sweep.clone(),
+                counters: {
+                    let mut counters: Vec<BaselineCounter> = utils
+                        .iter()
+                        .filter(|u| u.sweep == att.sweep)
+                        .flat_map(|u| &u.merged)
+                        .map(|c| BaselineCounter {
+                            name: c.name.clone(),
+                            mean: c.mean,
+                            rel_tol,
+                        })
+                        .collect();
+                    counters.sort_by(|a, b| a.name.cmp(&b.name));
+                    counters
+                },
                 stages: {
                     let mut stages: Vec<BaselineStage> = att
                         .merged
@@ -116,9 +152,9 @@ impl Baseline {
     }
 
     /// Compare folded sweeps against this baseline. Empty result means
-    /// every pinned stage *and phase* is within its tolerance band and
-    /// nothing appeared or disappeared.
-    pub fn check(&self, atts: &[SweepAttribution]) -> Vec<Drift> {
+    /// every pinned stage, phase, *and utilization counter* is within
+    /// its tolerance band and nothing appeared or disappeared.
+    pub fn check(&self, atts: &[SweepAttribution], utils: &[SweepUtilization]) -> Vec<Drift> {
         let mut drifts = Vec::new();
         for base in &self.sweeps {
             let Some(att) = atts.iter().find(|a| a.sweep == base.sweep) else {
@@ -203,6 +239,48 @@ impl Baseline {
                     });
                 }
             }
+            // Utilization-counter bands: the merged time-weighted mean
+            // of each pinned counter track, drift named `counter <name>`.
+            let util = utils.iter().find(|u| u.sweep == base.sweep);
+            for bc in &base.counters {
+                let Some(actual) = util.and_then(|u| u.merged_counter(&bc.name)) else {
+                    drifts.push(Drift {
+                        sweep: base.sweep.clone(),
+                        stage: format!("counter {}", bc.name),
+                        phase: None,
+                        kind: DriftKind::MissingStage {
+                            baseline_ps: bc.mean,
+                        },
+                    });
+                    continue;
+                };
+                let delta = rel_delta(actual.mean, bc.mean);
+                if delta > bc.rel_tol {
+                    drifts.push(Drift {
+                        sweep: base.sweep.clone(),
+                        stage: format!("counter {}", bc.name),
+                        phase: None,
+                        kind: DriftKind::MeanDrift {
+                            baseline_ps: bc.mean,
+                            actual_ps: actual.mean,
+                            rel_delta: delta,
+                            rel_tol: bc.rel_tol,
+                        },
+                    });
+                }
+            }
+            if let Some(util) = util {
+                for c in &util.merged {
+                    if !base.counters.iter().any(|bc| bc.name == c.name) {
+                        drifts.push(Drift {
+                            sweep: base.sweep.clone(),
+                            stage: format!("counter {}", c.name),
+                            phase: None,
+                            kind: DriftKind::NewStage { actual_ps: c.mean },
+                        });
+                    }
+                }
+            }
         }
         drifts
     }
@@ -219,6 +297,11 @@ impl Baseline {
             .flat_map(|s| &s.stages)
             .map(|st| st.phases.len())
             .sum()
+    }
+
+    /// Total pinned utilization-counter bands across all sweeps.
+    pub fn counter_count(&self) -> usize {
+        self.sweeps.iter().map(|s| s.counters.len()).sum()
     }
 }
 
@@ -377,13 +460,13 @@ mod tests {
     #[test]
     fn identical_run_is_within_tolerance() {
         let atts = folded(10);
-        let b = Baseline::record("validate --profile quick", &atts, DEFAULT_REL_TOL);
+        let b = Baseline::record("validate --profile quick", &atts, &[], DEFAULT_REL_TOL);
         assert_eq!(b.schema, BASELINE_SCHEMA);
         assert_eq!(b.stage_count(), 6);
         // Recording without markers still pins one band per stage: the
         // implicit `unphased` phase.
         assert_eq!(b.phase_count(), 6);
-        assert!(b.check(&atts).is_empty());
+        assert!(b.check(&atts, &[]).is_empty());
     }
 
     fn phased_point(index: usize, copy_ns: u64, scale_ns: u64) -> PointTrace {
@@ -403,9 +486,9 @@ mod tests {
             &[phased_point(0, 100, 100)],
             &[],
         )];
-        let b = Baseline::record("cmd", &base, DEFAULT_REL_TOL);
+        let b = Baseline::record("cmd", &base, &[], DEFAULT_REL_TOL);
         assert_eq!(b.phase_count(), 2);
-        assert!(b.check(&base).is_empty());
+        assert!(b.check(&base, &[]).is_empty());
         // Shift time from copy into scale: the stage-level mean is
         // unchanged, so only the per-phase bands can catch it.
         let atts = vec![SweepAttribution::fold(
@@ -414,7 +497,7 @@ mod tests {
             &[phased_point(0, 50, 150)],
             &[],
         )];
-        let drifts = b.check(&atts);
+        let drifts = b.check(&atts, &[]);
         assert!(!drifts.is_empty(), "stage mean alone would pass");
         assert!(drifts.iter().all(|d| d.phase.is_some()));
         let msg = drifts[0].to_string();
@@ -426,7 +509,12 @@ mod tests {
 
     #[test]
     fn round_trips_through_json() {
-        let b = Baseline::record("validate --profile quick", &folded(10), DEFAULT_REL_TOL);
+        let b = Baseline::record(
+            "validate --profile quick",
+            &folded(10),
+            &[],
+            DEFAULT_REL_TOL,
+        );
         let text = serde_json::to_string_pretty(&b).unwrap();
         let back: Baseline = serde_json::from_str(&text).unwrap();
         assert_eq!(b, back);
@@ -434,9 +522,9 @@ mod tests {
 
     #[test]
     fn drifted_mean_is_named() {
-        let b = Baseline::record("cmd", &folded(10), DEFAULT_REL_TOL);
+        let b = Baseline::record("cmd", &folded(10), &[], DEFAULT_REL_TOL);
         // 50% larger stage latencies everywhere.
-        let drifts = b.check(&folded(15));
+        let drifts = b.check(&folded(15), &[]);
         assert!(!drifts.is_empty());
         assert!(drifts.iter().any(|d| d.stage == "fabric.gate_wait"));
         let msg = drifts[0].to_string();
@@ -450,7 +538,7 @@ mod tests {
     #[test]
     fn missing_and_new_stages_are_drift() {
         let atts = folded(10);
-        let mut b = Baseline::record("cmd", &atts, DEFAULT_REL_TOL);
+        let mut b = Baseline::record("cmd", &atts, &[], DEFAULT_REL_TOL);
         b.sweeps[0].stages.push(BaselineStage {
             stage: "ghost.stage".into(),
             mean_ps: 5.0,
@@ -458,18 +546,18 @@ mod tests {
             rel_tol: DEFAULT_REL_TOL,
             phases: Vec::new(),
         });
-        let drifts = b.check(&atts);
+        let drifts = b.check(&atts, &[]);
         assert!(drifts
             .iter()
             .any(|d| d.stage == "ghost.stage" && matches!(d.kind, DriftKind::MissingStage { .. })));
 
-        let b = Baseline::record("cmd", &atts, DEFAULT_REL_TOL);
+        let b = Baseline::record("cmd", &atts, &[], DEFAULT_REL_TOL);
         let mut grown = atts.clone();
         // Simulate a new probe appearing.
         let mut r = TraceRecorder::new(0, 10);
         r.latency("brand.new", Dur::ns(3));
         grown[0] = SweepAttribution::fold("sw", 2, &[point(0, 10), point(1, 11), r.finish()], &[]);
-        let drifts = b.check(&grown);
+        let drifts = b.check(&grown, &[]);
         assert!(drifts
             .iter()
             .any(|d| d.stage == "brand.new" && matches!(d.kind, DriftKind::NewStage { .. })));
@@ -477,8 +565,8 @@ mod tests {
 
     #[test]
     fn missing_sweep_is_drift() {
-        let b = Baseline::record("cmd", &folded(10), DEFAULT_REL_TOL);
-        let drifts = b.check(&[]);
+        let b = Baseline::record("cmd", &folded(10), &[], DEFAULT_REL_TOL);
+        let drifts = b.check(&[], &[]);
         assert_eq!(drifts.len(), 1);
         assert!(matches!(drifts[0].kind, DriftKind::MissingSweep));
     }
@@ -487,5 +575,56 @@ mod tests {
     fn zero_mean_stages_compare_cleanly() {
         assert_eq!(rel_delta(0.0, 0.0), 0.0);
         assert!(rel_delta(0.5, 0.0) <= 0.5, "1 ps floor keeps this finite");
+    }
+
+    fn folded_utils(busy_ps: u64) -> Vec<SweepUtilization> {
+        use thymesim_sim::Time;
+        let mut r = TraceRecorder::with_window(0, 10, 1_000);
+        r.counter_busy("net.link_busy", Time::ZERO, Time::ps(busy_ps));
+        let mut r1 = TraceRecorder::with_window(1, 10, 1_000);
+        r1.counter_busy("net.link_busy", Time::ZERO, Time::ps(busy_ps));
+        vec![SweepUtilization::fold(
+            "sw",
+            2,
+            &[r.finish(), r1.finish()],
+            1_000,
+            0.9,
+        )]
+    }
+
+    #[test]
+    fn counter_drift_is_named() {
+        let atts = folded(10);
+        let utils = folded_utils(700);
+        let b = Baseline::record("cmd", &atts, &utils, DEFAULT_REL_TOL);
+        assert_eq!(b.counter_count(), 1);
+        assert!(b.check(&atts, &utils).is_empty());
+        // Same stages, drifted counter mean: only the counter band can
+        // catch it, and the drift names the counter.
+        let drifts = b.check(&atts, &folded_utils(300));
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].stage, "counter net.link_busy");
+        assert!(matches!(drifts[0].kind, DriftKind::MeanDrift { .. }));
+        // A counter the baseline never saw is drift too.
+        let mut stripped = b.clone();
+        stripped.sweeps[0].counters.clear();
+        let drifts = stripped.check(&atts, &utils);
+        assert!(drifts
+            .iter()
+            .any(|d| d.stage == "counter net.link_busy"
+                && matches!(d.kind, DriftKind::NewStage { .. })));
+        // ...and a pinned counter that recorded nothing is missing.
+        let drifts = b.check(&atts, &[]);
+        assert!(drifts.iter().any(|d| d.stage == "counter net.link_busy"
+            && matches!(d.kind, DriftKind::MissingStage { .. })));
+    }
+
+    #[test]
+    fn counter_bands_round_trip_through_json() {
+        let b = Baseline::record("cmd", &folded(10), &folded_utils(500), DEFAULT_REL_TOL);
+        let text = serde_json::to_string_pretty(&b).unwrap();
+        let back: Baseline = serde_json::from_str(&text).unwrap();
+        assert_eq!(b, back);
+        assert_eq!(back.counter_count(), 1);
     }
 }

@@ -13,8 +13,15 @@
 //! file depends on wall-clock, thread identity, or `--jobs`, so equal
 //! runs export byte-identical traces.
 
+use crate::counters::CounterTrack;
 use crate::recorder::{PointTrace, TraceEvent};
 use serde::Value;
+
+/// Prefix on windowed utilization counter-track names in the exported
+/// trace, distinguishing them from ad-hoc sampled counters so the
+/// checker can apply the stronger rules (monotone per-track timestamps,
+/// fractions within [0, 1], level values within their bound).
+pub const UTIL_PREFIX: &str = "util.";
 
 fn us(ps: u64) -> Value {
     Value::F64(ps as f64 / 1e6)
@@ -29,12 +36,38 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
     )
 }
 
+/// One entry of the render timeline: either a recorded event or a
+/// synthesized utilization counter sample (one per covered window, plus
+/// a closing zero after each run so Perfetto doesn't hold the last
+/// value forever).
+enum Entry<'a> {
+    Rec(&'a TraceEvent),
+    Util {
+        name: &'static str,
+        at_ps: u64,
+        value: f64,
+        kind: &'static str,
+        bound: Option<u64>,
+    },
+}
+
+impl Entry<'_> {
+    fn ts_ps(&self) -> u64 {
+        match self {
+            Entry::Rec(ev) => ev.ts_ps(),
+            Entry::Util { at_ps, .. } => *at_ps,
+        }
+    }
+}
+
 /// Render one sweep's point traces as a Chrome-trace JSON string.
-pub fn render(sweep: &str, traces: &[PointTrace]) -> String {
+/// `window_ps` is the counter-window width the traces were recorded
+/// with; windowed tracks render as `util.<name>` counter series.
+pub fn render(sweep: &str, traces: &[PointTrace], window_ps: u64) -> String {
     let mut meta: Vec<Value> = Vec::new();
-    // (pid, tid, event) triples, then a stable sort by timestamp — ties
-    // keep recording order, so the result is fully deterministic.
-    let mut timeline: Vec<(usize, usize, &TraceEvent)> = Vec::new();
+    // (pid, tid, entry) triples, then a stable sort by timestamp — ties
+    // keep push order, so the result is fully deterministic.
+    let mut timeline: Vec<(usize, usize, Entry)> = Vec::new();
 
     for trace in traces {
         let pid = trace.index;
@@ -67,7 +100,7 @@ pub fn render(sweep: &str, traces: &[PointTrace]) -> String {
                 }
                 TraceEvent::Counter { .. } => 0,
             };
-            timeline.push((pid, tid, ev));
+            timeline.push((pid, tid, Entry::Rec(ev)));
         }
         for (i, track) in tracks.iter().enumerate() {
             meta.push(obj(vec![
@@ -78,22 +111,25 @@ pub fn render(sweep: &str, traces: &[PointTrace]) -> String {
                 ("args", obj(vec![("name", Value::Str((*track).into()))])),
             ]));
         }
+        for tr in &trace.tracks {
+            push_util_entries(&mut timeline, pid, tr, window_ps);
+        }
     }
 
-    timeline.sort_by_key(|(_, _, ev)| ev.ts_ps());
+    timeline.sort_by_key(|(_, _, e)| e.ts_ps());
 
     let mut events = meta;
     events.reserve(timeline.len());
-    for (pid, tid, ev) in timeline {
+    for (pid, tid, entry) in timeline {
         let mut fields: Vec<(&str, Value)> = Vec::new();
-        match ev {
-            TraceEvent::Span {
+        match entry {
+            Entry::Rec(TraceEvent::Span {
                 track,
                 name,
                 start_ps,
                 end_ps,
                 arg,
-            } => {
+            }) => {
                 fields.push(("name", Value::Str((*name).into())));
                 fields.push(("cat", Value::Str((*track).into())));
                 fields.push(("ph", Value::Str("X".into())));
@@ -103,18 +139,37 @@ pub fn render(sweep: &str, traces: &[PointTrace]) -> String {
                     fields.push(("args", obj(vec![(k, Value::U64(*v))])));
                 }
             }
-            TraceEvent::Instant { track, name, at_ps } => {
+            Entry::Rec(TraceEvent::Instant { track, name, at_ps }) => {
                 fields.push(("name", Value::Str((*name).into())));
                 fields.push(("cat", Value::Str((*track).into())));
                 fields.push(("ph", Value::Str("i".into())));
                 fields.push(("s", Value::Str("t".into())));
                 fields.push(("ts", us(*at_ps)));
             }
-            TraceEvent::Counter { name, at_ps, value } => {
+            Entry::Rec(TraceEvent::Counter { name, at_ps, value }) => {
                 fields.push(("name", Value::Str((*name).into())));
                 fields.push(("ph", Value::Str("C".into())));
                 fields.push(("ts", us(*at_ps)));
                 fields.push(("args", obj(vec![("value", Value::F64(*value))])));
+            }
+            Entry::Util {
+                name,
+                at_ps,
+                value,
+                kind,
+                bound,
+            } => {
+                fields.push(("name", Value::Str(format!("{UTIL_PREFIX}{name}"))));
+                fields.push(("ph", Value::Str("C".into())));
+                fields.push(("ts", us(at_ps)));
+                let mut args = vec![
+                    ("value", Value::F64(value)),
+                    ("kind", Value::Str(kind.into())),
+                ];
+                if let Some(b) = bound {
+                    args.push(("bound", Value::U64(b)));
+                }
+                fields.push(("args", obj(args)));
             }
         }
         fields.push(("pid", Value::U64(pid as u64)));
@@ -129,6 +184,50 @@ pub fn render(sweep: &str, traces: &[PointTrace]) -> String {
     serde_json::to_string(&root).expect("trace serializes")
 }
 
+/// Synthesize the counter events of one windowed track: one sample at
+/// each covered window's start, and a closing zero one window after
+/// each maximal run of consecutive covered windows (so gaps and the
+/// tail render as idle instead of holding the last value).
+fn push_util_entries<'a>(
+    timeline: &mut Vec<(usize, usize, Entry<'a>)>,
+    pid: usize,
+    tr: &CounterTrack,
+    window_ps: u64,
+) {
+    let kind = tr.kind.label();
+    for i in 0..tr.windows.len() {
+        let idx = tr.windows[i].0;
+        timeline.push((
+            pid,
+            0,
+            Entry::Util {
+                name: tr.name,
+                at_ps: idx * window_ps,
+                value: tr.window_value(i, window_ps),
+                kind,
+                bound: tr.bound,
+            },
+        ));
+        let run_ends = match tr.windows.get(i + 1) {
+            Some(next) => next.0 > idx + 1,
+            None => true,
+        };
+        if run_ends {
+            timeline.push((
+                pid,
+                0,
+                Entry::Util {
+                    name: tr.name,
+                    at_ps: (idx + 1) * window_ps,
+                    value: 0.0,
+                    kind,
+                    bound: tr.bound,
+                },
+            ));
+        }
+    }
+}
+
 /// Summary of a validated trace file.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TraceCheck {
@@ -136,38 +235,57 @@ pub struct TraceCheck {
     pub spans: usize,
     pub instants: usize,
     pub counters: usize,
+    /// `util.*` windowed counter samples among `counters`.
+    pub util_counters: usize,
 }
 
 /// Structurally validate a Chrome-trace JSON string: well-formed JSON,
 /// required fields per event, nondecreasing timestamps, nonnegative
-/// span durations, and balanced `B`/`E` pairs per `(pid, tid)` lane.
+/// span durations, balanced `B`/`E` pairs per `(pid, tid)` lane, and —
+/// for `util.*` windowed counter tracks — strictly increasing window
+/// timestamps per `(pid, track)`, busy/ratio fractions within [0, 1],
+/// and bounded level values never exceeding their declared bound.
+/// Returns the first failure; [`check_all`] collects every failure.
 pub fn check(text: &str) -> Result<TraceCheck, String> {
-    let root: Value = serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
-    let events = root
-        .get("traceEvents")
-        .and_then(Value::as_array)
-        .ok_or("missing traceEvents array")?;
+    check_all(text).map_err(|errors| errors.join("\n"))
+}
+
+/// Like [`check`], but keeps validating after a failure and returns
+/// **every** problem found, so one run of the checker reports all of a
+/// broken trace instead of only its first defect.
+pub fn check_all(text: &str) -> Result<TraceCheck, Vec<String>> {
+    let root: Value =
+        serde_json::from_str(text).map_err(|e| vec![format!("not valid JSON: {e}")])?;
+    let Some(events) = root.get("traceEvents").and_then(Value::as_array) else {
+        return Err(vec!["missing traceEvents array".into()]);
+    };
     let mut out = TraceCheck::default();
+    let mut errors: Vec<String> = Vec::new();
     let mut last_ts = f64::NEG_INFINITY;
     // Open B-span names per (pid, tid) lane.
     let mut open: Vec<((u64, u64), Vec<String>)> = Vec::new();
+    // Last sample timestamp per (pid, util-track name).
+    let mut util_last: Vec<((u64, String), f64)> = Vec::new();
     for (i, ev) in events.iter().enumerate() {
-        let fail = |msg: String| Err(format!("event {i}: {msg}"));
+        let mut fail = |msg: String| errors.push(format!("event {i}: {msg}"));
         let Some(ph) = ev.get("ph").and_then(Value::as_str) else {
-            return fail("missing ph".into());
+            fail("missing ph".into());
+            continue;
         };
-        if ev.get("name").and_then(Value::as_str).is_none() {
-            return fail("missing name".into());
+        let name = ev.get("name").and_then(Value::as_str);
+        if name.is_none() {
+            fail("missing name".into());
         }
         if ph == "M" {
             continue; // metadata carries no timestamp
         }
         out.events += 1;
         let Some(ts) = ev.get("ts").and_then(Value::as_f64) else {
-            return fail(format!("ph {ph} missing numeric ts"));
+            fail(format!("ph {ph} missing numeric ts"));
+            continue;
         };
         if ts < last_ts {
-            return fail(format!("timestamp {ts} decreases (prev {last_ts})"));
+            fail(format!("timestamp {ts} decreases (prev {last_ts})"));
         }
         last_ts = ts;
         let pid = ev.get("pid").and_then(Value::as_u64).unwrap_or(0);
@@ -177,20 +295,26 @@ pub fn check(text: &str) -> Result<TraceCheck, String> {
                 out.spans += 1;
                 match ev.get("dur").and_then(Value::as_f64) {
                     Some(d) if d >= 0.0 => {}
-                    Some(d) => return fail(format!("negative span duration {d}")),
-                    None => return fail("X event missing dur".into()),
+                    Some(d) => fail(format!("negative span duration {d}")),
+                    None => fail("X event missing dur".into()),
                 }
             }
             "i" | "I" => out.instants += 1,
             "C" => {
                 out.counters += 1;
                 if ev.get("args").and_then(|a| a.as_object()).is_none() {
-                    return fail("C event missing args".into());
+                    fail("C event missing args".into());
+                    continue;
+                }
+                let name = name.unwrap_or_default();
+                if let Some(short) = name.strip_prefix(UTIL_PREFIX) {
+                    out.util_counters += 1;
+                    check_util_sample(ev, i, pid, short, ts, &mut util_last, &mut errors);
                 }
             }
             "B" => {
                 out.spans += 1;
-                let name = ev.get("name").and_then(Value::as_str).unwrap_or_default();
+                let name = name.unwrap_or_default();
                 let lane = (pid, tid);
                 match open.iter_mut().find(|(l, _)| *l == lane) {
                     Some((_, stack)) => stack.push(name.to_string()),
@@ -204,21 +328,73 @@ pub fn check(text: &str) -> Result<TraceCheck, String> {
                     .find(|(l, _)| *l == lane)
                     .and_then(|(_, stack)| stack.pop());
                 if popped.is_none() {
-                    return fail(format!("E without matching B on lane {lane:?}"));
+                    fail(format!("E without matching B on lane {lane:?}"));
                 }
             }
-            other => return fail(format!("unknown ph {other:?}")),
+            other => fail(format!("unknown ph {other:?}")),
         }
     }
     for (lane, stack) in &open {
         if !stack.is_empty() {
-            return Err(format!(
+            errors.push(format!(
                 "unbalanced spans: {} B event(s) never closed on lane {lane:?}",
                 stack.len()
             ));
         }
     }
-    Ok(out)
+    if errors.is_empty() {
+        Ok(out)
+    } else {
+        Err(errors)
+    }
+}
+
+/// Validate one `util.*` counter sample: strictly increasing timestamps
+/// within its `(pid, track)` series, fraction kinds within [0, 1], and
+/// bounded levels within their bound.
+fn check_util_sample(
+    ev: &Value,
+    i: usize,
+    pid: u64,
+    track: &str,
+    ts: f64,
+    util_last: &mut Vec<((u64, String), f64)>,
+    errors: &mut Vec<String>,
+) {
+    let mut fail = |msg: String| errors.push(format!("event {i}: util.{track}: {msg}"));
+    let args = ev.get("args").expect("checked by caller");
+    let Some(value) = args.get("value").and_then(Value::as_f64) else {
+        fail("missing numeric value".into());
+        return;
+    };
+    let key = (pid, track.to_string());
+    match util_last.iter_mut().find(|(k, _)| *k == key) {
+        Some((_, last)) => {
+            if ts <= *last {
+                fail(format!("window timestamp {ts} not after previous {last}"));
+            }
+            *last = ts;
+        }
+        None => util_last.push((key, ts)),
+    }
+    match args.get("kind").and_then(Value::as_str) {
+        Some("busy") | Some("ratio") => {
+            if !(0.0..=1.0).contains(&value) {
+                fail(format!("fraction {value} outside [0, 1]"));
+            }
+        }
+        Some("level") => {
+            if value < 0.0 {
+                fail(format!("negative level {value}"));
+            }
+            if let Some(bound) = args.get("bound").and_then(Value::as_u64) {
+                if value > bound as f64 {
+                    fail(format!("level {value} exceeds bound {bound}"));
+                }
+            }
+        }
+        _ => fail("missing or unknown kind".into()),
+    }
 }
 
 #[cfg(test)]
@@ -227,36 +403,65 @@ mod tests {
     use crate::recorder::{Recorder, TraceRecorder};
     use thymesim_sim::Time;
 
+    const W: u64 = 1_000_000; // 1 µs windows for the tests
+
     fn sample() -> Vec<PointTrace> {
-        let mut r = TraceRecorder::new(0, 100);
+        let mut r = TraceRecorder::with_window(0, 100, W);
         r.span("fabric", "read", Time::ns(10), Time::ns(30));
         r.instant("workload", "phase", Time::ns(5));
         r.counter("depth", Time::ns(20), 3.0);
-        let mut r1 = TraceRecorder::new(1, 100);
+        let mut r1 = TraceRecorder::with_window(1, 100, W);
         r1.span_arg("workload", "copy", Time::ZERO, Time::ns(50), "rep", 2);
         vec![r.finish(), r1.finish()]
     }
 
+    fn sample_with_util() -> Vec<PointTrace> {
+        let mut r = TraceRecorder::with_window(0, 100, W);
+        r.span("fabric", "read", Time::ns(10), Time::ns(30));
+        r.counter_bound("credit.occupancy", 8);
+        // Half of window 0 at level 4; windows 2..4 fully busy.
+        r.counter_level("credit.occupancy", Time::ZERO, Time::ps(W / 2), 4);
+        r.counter_busy("net.link_busy", Time::ps(2 * W), Time::ps(4 * W));
+        r.counter_ratio("mem.llc_miss_rate", Time::ps(W / 4), 1, 4);
+        vec![r.finish()]
+    }
+
     #[test]
     fn rendered_trace_passes_the_checker() {
-        let text = render("test/sweep", &sample());
+        let text = render("test/sweep", &sample(), W);
         let c = check(&text).expect("valid trace");
         assert_eq!(c.spans, 2);
         assert_eq!(c.instants, 1);
         assert_eq!(c.counters, 1);
         assert_eq!(c.events, 4);
+        assert_eq!(c.util_counters, 0);
     }
 
     #[test]
     fn render_is_deterministic() {
-        let a = render("test/sweep", &sample());
-        let b = render("test/sweep", &sample());
+        let a = render("test/sweep", &sample(), W);
+        let b = render("test/sweep", &sample(), W);
         assert_eq!(a, b);
     }
 
     #[test]
+    fn util_tracks_render_and_pass_the_checker() {
+        let text = render("test/sweep", &sample_with_util(), W);
+        let c = check(&text).expect("valid trace with util tracks");
+        // credit.occupancy: window 0 + closing zero; net.link_busy:
+        // windows 2,3 + closing zero; mem.llc_miss_rate: window 0 +
+        // closing zero.
+        assert_eq!(c.util_counters, 7);
+        assert!(text.contains("util.credit.occupancy"));
+        assert!(text.contains("util.net.link_busy"));
+        assert!(text.contains("util.mem.llc_miss_rate"));
+        assert!(text.contains(r#""kind":"level""#));
+        assert!(text.contains(r#""bound":8"#));
+    }
+
+    #[test]
     fn events_are_sorted_by_timestamp() {
-        let text = render("test/sweep", &sample());
+        let text = render("test/sweep", &sample(), W);
         // The instant at 5 ns must precede the span starting at 0 ns? No:
         // sorting is global over ts, so 0 ns (point 1 span) comes first.
         let root: Value = serde_json::from_str(&text).unwrap();
@@ -297,5 +502,55 @@ mod tests {
             {"name":"a","ph":"X","ts":1.0,"pid":0,"tid":1}
         ]}"#;
         assert!(check(bad).unwrap_err().contains("missing dur"));
+    }
+
+    #[test]
+    fn checker_rejects_bad_util_tracks() {
+        // Busy fraction above 1.
+        let bad = r#"{"traceEvents": [
+            {"name":"util.net.link_busy","ph":"C","ts":0.0,"pid":0,"tid":0,
+             "args":{"value":1.5,"kind":"busy"}}
+        ]}"#;
+        assert!(check(bad).unwrap_err().contains("outside [0, 1]"));
+        // Level exceeding its declared bound (credit occupancy > credits).
+        let bad = r#"{"traceEvents": [
+            {"name":"util.credit.occupancy","ph":"C","ts":0.0,"pid":0,"tid":0,
+             "args":{"value":9.0,"kind":"level","bound":8}}
+        ]}"#;
+        assert!(check(bad).unwrap_err().contains("exceeds bound 8"));
+        // Repeated window timestamp within one (pid, track) series.
+        let bad = r#"{"traceEvents": [
+            {"name":"util.net.link_busy","ph":"C","ts":1.0,"pid":0,"tid":0,
+             "args":{"value":0.5,"kind":"busy"}},
+            {"name":"util.net.link_busy","ph":"C","ts":1.0,"pid":0,"tid":0,
+             "args":{"value":0.6,"kind":"busy"}}
+        ]}"#;
+        assert!(check(bad).unwrap_err().contains("not after previous"));
+        // Same timestamp on a *different* pid is fine.
+        let ok = r#"{"traceEvents": [
+            {"name":"util.net.link_busy","ph":"C","ts":1.0,"pid":0,"tid":0,
+             "args":{"value":0.5,"kind":"busy"}},
+            {"name":"util.net.link_busy","ph":"C","ts":1.0,"pid":1,"tid":0,
+             "args":{"value":0.6,"kind":"busy"}}
+        ]}"#;
+        assert!(check(ok).is_ok());
+    }
+
+    #[test]
+    fn check_all_reports_every_failure() {
+        let bad = r#"{"traceEvents": [
+            {"name":"util.net.link_busy","ph":"C","ts":5.0,"pid":0,"tid":0,
+             "args":{"value":2.0,"kind":"busy"}},
+            {"name":"a","ph":"i","s":"t","ts":1.0,"pid":0,"tid":1},
+            {"name":"b","ph":"X","ts":1.0,"pid":0,"tid":1},
+            {"name":"c","ph":"E","ts":1.0,"pid":0,"tid":1}
+        ]}"#;
+        let errors = check_all(bad).unwrap_err();
+        assert!(errors.len() >= 4, "expected all failures, got {errors:?}");
+        let joined = errors.join("\n");
+        assert!(joined.contains("outside [0, 1]"));
+        assert!(joined.contains("decreases"));
+        assert!(joined.contains("missing dur"));
+        assert!(joined.contains("without matching B"));
     }
 }

@@ -33,11 +33,15 @@
 pub mod attribution;
 pub mod baseline;
 pub mod chrome;
+pub mod counters;
 pub mod recorder;
 pub mod summary;
 
 pub use attribution::{PhaseSlice, PointAttribution, StageSlice, SweepAttribution};
 pub use baseline::{Baseline, Drift};
+pub use counters::{
+    CounterKind, CounterRecorder, CounterReport, CounterTrack, PointUtilization, SweepUtilization,
+};
 pub use recorder::{NoopRecorder, Phase, PointTrace, Recorder, TraceEvent, TraceRecorder};
 pub use summary::SweepSummary;
 
@@ -63,11 +67,18 @@ pub struct TraceConfig {
     /// are never capped; overflow is counted as `dropped`).
     pub max_events_per_point: usize,
     /// Write per-sweep artifact files (`<sweep>.trace.json`,
-    /// `<sweep>.collapsed`, `telemetry.json`, `attribution.json`)?
-    /// `false` runs the recorders and accumulates summaries /
-    /// attributions in memory only — baseline record/check mode uses
-    /// this to gate stage means without touching the filesystem.
+    /// `<sweep>.collapsed`, `telemetry.json`, `attribution.json`,
+    /// `utilization.json`)? `false` runs the recorders and accumulates
+    /// summaries / attributions / utilizations in memory only —
+    /// baseline record/check mode uses this to gate stage and counter
+    /// means without touching the filesystem.
     pub artifacts: bool,
+    /// Width of the fixed virtual-time windows counter gauges fold onto,
+    /// in picoseconds.
+    pub counter_window_ps: u64,
+    /// A counter window is saturated when its value exceeds this
+    /// fraction (of the bound, for bounded level counters).
+    pub saturation_threshold: f64,
 }
 
 impl Default for TraceConfig {
@@ -77,6 +88,8 @@ impl Default for TraceConfig {
             dir: PathBuf::from("traces"),
             max_events_per_point: 20_000,
             artifacts: true,
+            counter_window_ps: counters::DEFAULT_WINDOW_PS,
+            saturation_threshold: counters::DEFAULT_SATURATION_THRESHOLD,
         }
     }
 }
@@ -84,18 +97,20 @@ impl Default for TraceConfig {
 static CONFIG: Mutex<Option<TraceConfig>> = Mutex::new(None);
 static SUMMARIES: Mutex<Vec<SweepSummary>> = Mutex::new(Vec::new());
 static ATTRIBUTIONS: Mutex<Vec<SweepAttribution>> = Mutex::new(Vec::new());
+static UTILIZATIONS: Mutex<Vec<SweepUtilization>> = Mutex::new(Vec::new());
 
 /// Install the process-wide tracing configuration.
 pub fn configure(cfg: TraceConfig) {
     *CONFIG.lock().expect("telemetry config poisoned") = Some(cfg);
 }
 
-/// Disable tracing process-wide (and forget accumulated summaries and
-/// attributions).
+/// Disable tracing process-wide (and forget accumulated summaries,
+/// attributions, and utilizations).
 pub fn disable() {
     *CONFIG.lock().expect("telemetry config poisoned") = None;
     SUMMARIES.lock().expect("summaries poisoned").clear();
     ATTRIBUTIONS.lock().expect("attributions poisoned").clear();
+    UTILIZATIONS.lock().expect("utilizations poisoned").clear();
 }
 
 /// The currently installed configuration, if tracing is on.
@@ -233,6 +248,61 @@ pub fn add(name: &'static str, delta: u64) {
     }
 }
 
+/// Record that a component was occupied over `[start, end)` — folded
+/// onto fixed virtual-time windows as a busy fraction. Emit
+/// non-overlapping intervals per counter (serialized resources do so
+/// naturally) so window fractions stay within [0, 1].
+#[inline]
+pub fn counter_busy(name: &'static str, start: Time, end: Time) {
+    if enabled() {
+        with(|r| r.counter_busy(name, start, end));
+    }
+}
+
+/// Record an integer gauge held at `level` over `[start, end)` — folded
+/// onto windows as a time-weighted level. Overlapping segments add, so
+/// emitting one unit segment per waiting request folds into the
+/// instantaneous queue depth.
+#[inline]
+pub fn counter_level(name: &'static str, start: Time, end: Time, level: u64) {
+    if enabled() {
+        with(|r| r.counter_level(name, start, end, level));
+    }
+}
+
+/// Record a numerator/denominator event pair at an instant (e.g. one
+/// cache access that did or did not miss) — folded onto windows as a
+/// rate in [0, 1].
+#[inline]
+pub fn counter_ratio(name: &'static str, at: Time, num: u64, den: u64) {
+    if enabled() {
+        with(|r| r.counter_ratio(name, at, num, den));
+    }
+}
+
+/// Declare a level counter's capacity (credit window size, ...); the
+/// exported track carries it and saturation is measured against it.
+#[inline]
+pub fn counter_bound(name: &'static str, bound: u64) {
+    if enabled() {
+        with(|r| r.counter_bound(name, bound));
+    }
+}
+
+/// Claim the next instance slot of an exclusive counter family on this
+/// point's recorder; returns the zero-based slot (0 when tracing is
+/// off). Components whose busy/level tracks must not overlap claim at
+/// construction and emit only from slot 0 — experiments that build
+/// several links, buses, or engines inside one point otherwise sum
+/// their occupancies into fractions above 1.
+#[inline]
+pub fn claim(family: &'static str) -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    RECORDER.with(|r| r.borrow_mut().as_mut().map_or(0, |rec| rec.claim(family)))
+}
+
 // ------------------------------------------------------------- export
 
 /// Flatten a sweep name for the filesystem (same rule as the sweep
@@ -258,10 +328,17 @@ pub fn export_sweep(
 ) -> Option<PathBuf> {
     let cfg = config()?;
     let attribution = SweepAttribution::fold(name, points, traces, configs);
+    let utilization = SweepUtilization::fold(
+        name,
+        points,
+        traces,
+        cfg.counter_window_ps,
+        cfg.saturation_threshold,
+    );
     let path = cfg.dir.join(format!("{}.trace.json", flat_name(name)));
     if cfg.artifacts {
         std::fs::create_dir_all(&cfg.dir).expect("trace directory must be creatable");
-        std::fs::write(&path, chrome::render(name, traces))
+        std::fs::write(&path, chrome::render(name, traces, cfg.counter_window_ps))
             .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
         let collapsed = cfg.dir.join(format!("{}.collapsed", flat_name(name)));
         std::fs::write(&collapsed, attribution.collapsed())
@@ -281,6 +358,12 @@ pub fn export_sweep(
         Some(slot) => *slot = attribution,
         None => atts.push(attribution),
     }
+    drop(atts);
+    let mut utils = UTILIZATIONS.lock().expect("utilizations poisoned");
+    match utils.iter_mut().find(|u| u.sweep == name) {
+        Some(slot) => *slot = utilization,
+        None => utils.push(utilization),
+    }
     Some(path)
 }
 
@@ -288,6 +371,12 @@ pub fn export_sweep(
 /// order. Baseline record/check consume this in-process.
 pub fn attributions() -> Vec<SweepAttribution> {
     ATTRIBUTIONS.lock().expect("attributions poisoned").clone()
+}
+
+/// Snapshot of every sweep utilization accumulated so far, in execution
+/// order. Baseline record/check gate counter means from this.
+pub fn utilizations() -> Vec<SweepUtilization> {
+    UTILIZATIONS.lock().expect("utilizations poisoned").clone()
 }
 
 /// Write the cumulative `telemetry.json` (all sweeps exported so far,
@@ -341,6 +430,37 @@ pub fn write_attribution() -> Option<PathBuf> {
     let text = serde_json::to_string_pretty(&root).expect("attribution serializes");
     std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     Some(path)
+}
+
+/// Write the cumulative `utilization.json` (windowed counter means,
+/// peaks, and saturation metrics for every sweep exported so far, in
+/// execution order). Returns `Ok(None)` when tracing is off, artifacts
+/// are disabled, or nothing recorded; unlike the older writers this
+/// surfaces I/O failures (unwritable directory, ...) as errors instead
+/// of panicking, so the CLI can fail with a named error.
+pub fn write_utilization() -> std::io::Result<Option<PathBuf>> {
+    let Some(cfg) = config() else {
+        return Ok(None);
+    };
+    if !cfg.artifacts {
+        return Ok(None);
+    }
+    let all = UTILIZATIONS.lock().expect("utilizations poisoned");
+    if all.is_empty() {
+        return Ok(None);
+    }
+    let root = serde::Value::Object(vec![
+        ("schema".into(), serde::Value::U64(1)),
+        (
+            "sweeps".into(),
+            serde::Value::Array(all.iter().map(SweepUtilization::to_value).collect()),
+        ),
+    ]);
+    let path = cfg.dir.join("utilization.json");
+    std::fs::create_dir_all(&cfg.dir)?;
+    let text = serde_json::to_string_pretty(&root).expect("utilization serializes");
+    std::fs::write(&path, text)?;
+    Ok(Some(path))
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 //! and [`TraceRecorder`], which buffers timeline events and aggregates
 //! per-stage latency histograms for one sweep point.
 
+use crate::counters::{CounterRecorder, CounterTrack, DEFAULT_WINDOW_PS};
 use thymesim_sim::{Dur, Histogram, Time};
 
 /// Identity of a workload phase: a static name plus an optional ordinal
@@ -141,6 +142,44 @@ pub trait Recorder {
     fn add(&mut self, name: &'static str, delta: u64) {
         let _ = (name, delta);
     }
+
+    /// A component was occupied over `[start, end)` — folded onto fixed
+    /// virtual-time windows as a busy fraction. Callers must emit
+    /// non-overlapping intervals per counter.
+    fn counter_busy(&mut self, name: &'static str, start: Time, end: Time) {
+        let _ = (name, start, end);
+    }
+
+    /// An integer gauge held `level` over `[start, end)` — folded onto
+    /// windows as a time-weighted level. Overlapping segments add, so
+    /// one unit segment per waiting request folds into queue depth.
+    fn counter_level(&mut self, name: &'static str, start: Time, end: Time, level: u64) {
+        let _ = (name, start, end, level);
+    }
+
+    /// A numerator/denominator event pair at an instant (e.g. one cache
+    /// access that did or did not miss) — folded onto windows as a rate.
+    fn counter_ratio(&mut self, name: &'static str, at: Time, num: u64, den: u64) {
+        let _ = (name, at, num, den);
+    }
+
+    /// Declare a level counter's capacity (credit window size, ...).
+    fn counter_bound(&mut self, name: &'static str, bound: u64) {
+        let _ = (name, bound);
+    }
+
+    /// Claim one instance slot of an exclusive counter family; returns
+    /// the zero-based slot. Components whose busy/level tracks must not
+    /// overlap (serial links, memory buses, credit windows, delay gates)
+    /// claim at construction and record only from slot 0, so experiments
+    /// that build several instances inside one point (congestion pairs,
+    /// pooling) keep every window fraction within [0, 1]. Slots are
+    /// deterministic: each point simulates on exactly one thread and
+    /// constructs its components in a fixed order.
+    fn claim(&mut self, family: &'static str) -> u64 {
+        let _ = family;
+        0
+    }
 }
 
 /// The trait's no-op default, reified. Exists mostly for tests and for
@@ -169,6 +208,9 @@ pub struct PointTrace {
     pub phased: Vec<(&'static str, Phase, Histogram)>,
     /// Monotonic totals, in first-observation order.
     pub counters: Vec<(&'static str, u64)>,
+    /// Windowed counter tracks (utilization gauges), name-sorted. Like
+    /// the histograms, these are never capped.
+    pub tracks: Vec<CounterTrack>,
 }
 
 /// The recording implementation: buffers up to `max_events` timeline
@@ -183,10 +225,18 @@ pub struct TraceRecorder {
     phase: Phase,
     phased: Vec<(&'static str, Phase, Histogram)>,
     counters: Vec<(&'static str, u64)>,
+    windowed: CounterRecorder,
+    claims: Vec<(&'static str, u64)>,
 }
 
 impl TraceRecorder {
     pub fn new(index: usize, max_events: usize) -> TraceRecorder {
+        TraceRecorder::with_window(index, max_events, DEFAULT_WINDOW_PS)
+    }
+
+    /// Like [`TraceRecorder::new`], with an explicit counter-window
+    /// width in picoseconds (the sweep harness passes the configured one).
+    pub fn with_window(index: usize, max_events: usize, window_ps: u64) -> TraceRecorder {
         TraceRecorder {
             index,
             max_events,
@@ -196,6 +246,8 @@ impl TraceRecorder {
             phase: Phase::UNPHASED,
             phased: Vec::new(),
             counters: Vec::new(),
+            windowed: CounterRecorder::new(window_ps),
+            claims: Vec::new(),
         }
     }
 
@@ -217,6 +269,7 @@ impl TraceRecorder {
             stages: self.stages,
             phased: self.phased,
             counters: self.counters,
+            tracks: self.windowed.finish(),
         }
     }
 }
@@ -308,6 +361,35 @@ impl Recorder for TraceRecorder {
         match self.counters.iter_mut().find(|(n, _)| *n == name) {
             Some((_, c)) => *c += delta,
             None => self.counters.push((name, delta)),
+        }
+    }
+
+    fn counter_busy(&mut self, name: &'static str, start: Time, end: Time) {
+        self.windowed.busy(name, start.as_ps(), end.as_ps());
+    }
+
+    fn counter_level(&mut self, name: &'static str, start: Time, end: Time, level: u64) {
+        self.windowed.level(name, start.as_ps(), end.as_ps(), level);
+    }
+
+    fn counter_ratio(&mut self, name: &'static str, at: Time, num: u64, den: u64) {
+        self.windowed.ratio(name, at.as_ps(), num, den);
+    }
+
+    fn counter_bound(&mut self, name: &'static str, bound: u64) {
+        self.windowed.bound(name, bound);
+    }
+
+    fn claim(&mut self, family: &'static str) -> u64 {
+        match self.claims.iter_mut().find(|(f, _)| *f == family) {
+            Some((_, n)) => {
+                *n += 1;
+                *n - 1
+            }
+            None => {
+                self.claims.push((family, 1));
+                0
+            }
         }
     }
 }

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use thymesim::prelude::*;
 use thymesim::sim::Time;
 use thymesim_telemetry::attribution::READ_ANATOMY;
-use thymesim_telemetry::{PointTrace, Recorder, SweepAttribution, TraceRecorder};
+use thymesim_telemetry::{PointTrace, Recorder, SweepAttribution, SweepUtilization, TraceRecorder};
 
 fn stream_cfg(elements: u64) -> StreamConfig {
     let mut s = StreamConfig::tiny();
@@ -76,6 +76,57 @@ fn synth_phased_point(index: usize, obs: &[u64]) -> PointTrace {
         r.latency(STAGE_NAMES[stage], thymesim::sim::Dur::ns(ns));
     }
     r.phase_end();
+    r.finish()
+}
+
+/// Counter window width for synthetic utilization points: 1 ns, so
+/// picosecond-scale samples span many windows.
+const CW: u64 = 1_000;
+
+/// One synthetic counter track per windowed kind.
+const COUNTER_NAMES: [&str; 3] = ["link.busy", "queue.depth", "miss.rate"];
+
+/// Decode one packed counter observation and emit it: the low field
+/// selects the sample kind, the next the start instant, the rest the
+/// interval length (busy/level) — same packed-u64 style as `synth_point`.
+fn counter_sample(r: &mut TraceRecorder, v: u64) {
+    let kind = v % 3;
+    let rest = v / 3;
+    let start = rest % 10_000;
+    let len = rest / 10_000 % 3_000;
+    match kind {
+        0 => r.counter_busy(COUNTER_NAMES[0], Time(start), Time(start + len)),
+        1 => r.counter_level(COUNTER_NAMES[1], Time(start), Time(start + len), v % 4 + 1),
+        _ => r.counter_ratio(COUNTER_NAMES[2], Time(start), v % 2, 1),
+    }
+}
+
+/// Re-derive the exact integer accumulators `counter_sample` implies:
+/// (busy occupied-ps, level weighted-ps, ratio numerator, ratio
+/// denominator) summed over the observations.
+fn counter_expect(obs: &[u64]) -> (u128, u128, u128, u128) {
+    let (mut busy, mut level, mut num, mut den) = (0u128, 0u128, 0u128, 0u128);
+    for &v in obs {
+        let len = (v / 3 / 10_000 % 3_000) as u128;
+        match v % 3 {
+            0 => busy += len,
+            1 => level += len * (v % 4 + 1) as u128,
+            _ => {
+                num += (v % 2) as u128;
+                den += 1;
+            }
+        }
+    }
+    (busy, level, num, den)
+}
+
+/// Build one synthetic traced point carrying windowed counter tracks.
+fn synth_counter_point(index: usize, window_ps: u64, obs: &[u64]) -> PointTrace {
+    let mut r = TraceRecorder::with_window(index, 16, window_ps);
+    r.counter_bound(COUNTER_NAMES[1], 4);
+    for &v in obs {
+        counter_sample(&mut r, v);
+    }
     r.finish()
 }
 
@@ -318,6 +369,101 @@ proptest! {
                 prop_assert!(elapsed > budget);
             }
             Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    /// The windowed counter fold is order-independent under shuffled
+    /// sample arrival: reversing both point order and within-point
+    /// emission order produces an identical `SweepUtilization` and
+    /// byte-identical serialized JSON — each window is a commutative
+    /// integer sum and the fold sorts points and counter names.
+    #[test]
+    fn prop_counter_fold_is_order_independent(
+        points in proptest::collection::vec(
+            proptest::collection::vec(0u64..90_000_000, 1..24),
+            2..6,
+        ),
+    ) {
+        let forward: Vec<PointTrace> = points
+            .iter()
+            .enumerate()
+            .map(|(i, obs)| synth_counter_point(i, CW, obs))
+            .collect();
+        let backward: Vec<PointTrace> = points
+            .iter()
+            .enumerate()
+            .rev()
+            .map(|(i, obs)| {
+                let rev: Vec<u64> = obs.iter().rev().copied().collect();
+                synth_counter_point(i, CW, &rev)
+            })
+            .collect();
+        let a = SweepUtilization::fold("prop", points.len(), &forward, CW, 0.9);
+        let b = SweepUtilization::fold("prop", points.len(), &backward, CW, 0.9);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(
+            serde_json::to_string(&a.to_value()).unwrap(),
+            serde_json::to_string(&b.to_value()).unwrap()
+        );
+    }
+
+    /// Time-weighted means are exact under window merging: the `num`
+    /// accumulator (occupied/weighted picoseconds, or ratio events) is a
+    /// pure integer sum over the samples, so folding the same samples at
+    /// a k× coarser window leaves every accumulator bit-identical to the
+    /// value re-derived directly from the decoded samples, and the
+    /// reported mean is exactly `num / den` at either width.
+    #[test]
+    fn prop_counter_means_exact_under_window_merging(
+        obs in proptest::collection::vec(0u64..90_000_000, 1..32),
+        k in 2u64..8,
+    ) {
+        let (busy, level, num, den) = counter_expect(&obs);
+        for w in [CW, CW * k] {
+            let u = SweepUtilization::fold(
+                "prop", 1, &[synth_counter_point(0, w, &obs)], w, 0.9,
+            );
+            let p = &u.per_point[0];
+            // The horizon is whole windows covering the last sample.
+            prop_assert_eq!(p.horizon_ps % w, 0);
+            for c in &p.counters {
+                match c.name.as_str() {
+                    "link.busy" => {
+                        prop_assert_eq!(c.num, busy);
+                        prop_assert_eq!(c.den, p.horizon_ps as u128);
+                    }
+                    "queue.depth" => prop_assert_eq!(c.num, level),
+                    "miss.rate" => prop_assert_eq!((c.num, c.den), (num, den)),
+                    other => prop_assert!(false, "unexpected counter {other}"),
+                }
+                let expect = if c.den == 0 { 0.0 } else { c.num as f64 / c.den as f64 };
+                prop_assert_eq!(c.mean, expect, "mean must derive from the integers");
+                prop_assert!(c.covered_ps <= p.horizon_ps);
+            }
+        }
+    }
+
+    /// A zero-traffic point — components register their counters but
+    /// nothing ever occupies them — folds to all-zero busy fractions:
+    /// zero mean, zero peak, no saturated time, anywhere in the report.
+    #[test]
+    fn prop_zero_traffic_folds_to_all_zero_busy(
+        instants in proptest::collection::vec(0u64..90_000_000, 1..16),
+    ) {
+        let mut r = TraceRecorder::with_window(0, 16, CW);
+        for &t in &instants {
+            r.counter_busy("link.busy", Time(t), Time(t)); // idle link
+            r.counter_ratio("miss.rate", Time(t), 0, 1); // access, no miss
+        }
+        let u = SweepUtilization::fold("prop", 1, &[r.finish()], CW, 0.9);
+        prop_assert_eq!(u.per_point[0].counters.len(), 2);
+        for c in u.per_point[0].counters.iter().chain(&u.merged) {
+            prop_assert_eq!(c.num, 0);
+            prop_assert_eq!(c.mean, 0.0);
+            prop_assert_eq!(c.peak, 0.0);
+            prop_assert_eq!(c.saturated_ps, 0);
+            prop_assert_eq!(c.saturated_frac, 0.0);
+            prop_assert_eq!(c.longest_saturated_ps, 0);
         }
     }
 }

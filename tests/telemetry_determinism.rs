@@ -3,9 +3,11 @@
 //! 1. tracing is observational — results are byte-identical with the
 //!    recorder on and off;
 //! 2. trace artifacts are themselves deterministic — repeated traced
-//!    runs, at any `--jobs`, produce byte-identical trace files;
+//!    runs, at any `--jobs`, produce byte-identical trace files and a
+//!    byte-identical `utilization.json`;
 //! 3. every emitted trace passes the structural checker that CI runs
-//!    (`trace_check`).
+//!    (`trace_check`), including the windowed `util.*` counter-track
+//!    rules, and the utilization report passes its own checker.
 //!
 //! Telemetry and sweep configuration are process-global, so everything
 //! lives in one test function — steps must not interleave.
@@ -72,6 +74,9 @@ fn tracing_never_changes_results_and_traces_are_deterministic() {
         plain, traced,
         "tracing must be purely observational: results diverged"
     );
+    let util_a = thymesim_telemetry::write_utilization()
+        .expect("utilization writes")
+        .expect("traced sweep folds utilization");
 
     // A second traced run — serial this time — must reproduce the trace
     // files byte for byte (grid-order assembly makes --jobs invisible).
@@ -83,6 +88,9 @@ fn tracing_never_changes_results_and_traces_are_deterministic() {
     });
     let traced_serial = run(1);
     assert_eq!(plain, traced_serial);
+    let util_b = thymesim_telemetry::write_utilization()
+        .expect("utilization writes")
+        .expect("traced sweep folds utilization");
 
     let a = trace_files(&dir_a);
     let b = trace_files(&dir_b);
@@ -92,6 +100,22 @@ fn tracing_never_changes_results_and_traces_are_deterministic() {
         "trace files must be byte-identical across runs and --jobs"
     );
 
+    // The windowed counter folds are part of the determinism contract:
+    // utilization.json must be byte-identical across runs and --jobs.
+    let util_text = std::fs::read_to_string(&util_a).unwrap();
+    assert_eq!(
+        util_text,
+        std::fs::read_to_string(&util_b).unwrap(),
+        "utilization.json must be byte-identical across runs and --jobs"
+    );
+    let stats = thymesim_telemetry::counters::check_utilization(&util_text)
+        .unwrap_or_else(|e| panic!("utilization.json invalid: {}", e.join("\n")));
+    assert!(stats.sweeps > 0 && stats.points > 0);
+    assert!(
+        stats.counters > 0,
+        "traced STREAM sweep must fold counter tracks"
+    );
+
     // Every artifact must satisfy the structural checker CI runs.
     for (name, bytes) in &a {
         let text = String::from_utf8(bytes.clone()).expect("trace is UTF-8");
@@ -99,6 +123,14 @@ fn tracing_never_changes_results_and_traces_are_deterministic() {
         assert!(stats.events > 0, "{name}: trace recorded no events");
         assert!(stats.spans > 0, "{name}: expected span events");
         assert!(stats.counters > 0, "{name}: expected counter samples");
+        assert!(
+            stats.util_counters > 0,
+            "{name}: expected windowed util.* counter-track samples"
+        );
+        assert!(
+            text.contains("util.net.link_busy"),
+            "{name}: link busy-fraction track missing"
+        );
     }
 
     // The merged summary exists and parses.
