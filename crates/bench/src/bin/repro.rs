@@ -50,6 +50,14 @@
 //!   phase when the drift is phase-confined, and `counter <name>` when
 //!   it is utilization-confined — and exits 1 on drift (2 when the
 //!   baseline is missing/malformed or pins a different command).
+//! * `--bench-json <path>` — after the run, write a throughput record:
+//!   wall-clock seconds, simulated points, points/sec, timed memory
+//!   accesses simulated, accesses/sec, and a `calib_ops_per_sec` score
+//!   from a fixed arithmetic loop run on the same machine moments
+//!   after the sweep. CI compares *normalized* throughput
+//!   (points_per_sec / calib_ops_per_sec) against the committed
+//!   record, so an absolute slowdown of the runner machine does not
+//!   read as a code regression.
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -180,11 +188,15 @@ fn main() {
         }
     }
     if cmd != "list" {
+        let wall = started.elapsed();
         eprintln!(
             "# total: {:.2?} wall-clock ({} points simulated)",
-            started.elapsed(),
+            wall,
             sweep::simulated_point_count()
         );
+        if let Some(path) = bench_json_path(&args) {
+            write_bench_json(&path, cmd, &profile, wall);
+        }
         if let Some(path) = thymesim_telemetry::write_summary() {
             eprintln!("# wrote {}", path.display());
         }
@@ -321,6 +333,87 @@ fn run_baseline(mode: BaselineMode, cmd: &str, profile: &Profile) {
 }
 
 static OUT_DIR: std::sync::OnceLock<PathBuf> = std::sync::OnceLock::new();
+
+// ------------------------------------------------------------ bench-json
+
+/// Parse `--bench-json <path>` / `--bench-json=<path>`.
+fn bench_json_path(args: &[String]) -> Option<PathBuf> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--bench-json" {
+            return it.next().map(PathBuf::from);
+        }
+        if let Some(rest) = a.strip_prefix("--bench-json=") {
+            return Some(PathBuf::from(rest));
+        }
+    }
+    None
+}
+
+/// A fixed, optimization-resistant arithmetic loop timed on this machine:
+/// the unit in which CI normalizes sweep throughput. An xorshift chain is
+/// serial (each step depends on the last), integer-only, and touches no
+/// memory, so its rate tracks scalar CPU speed — the same resource the
+/// simulator's hot loops consume.
+fn calibrate_ops_per_sec() -> f64 {
+    const OPS: u64 = 200_000_000;
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    let t = Instant::now();
+    for _ in 0..OPS {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    let dt = t.elapsed().as_secs_f64();
+    // Defeat dead-code elimination.
+    std::hint::black_box(x);
+    OPS as f64 / dt
+}
+
+#[derive(serde::Serialize)]
+struct BenchRecord {
+    command: String,
+    profile: String,
+    wall_seconds: f64,
+    points: u64,
+    points_per_sec: f64,
+    timed_accesses: u64,
+    accesses_per_sec: f64,
+    /// Machine-speed unit from [`calibrate_ops_per_sec`]; divide
+    /// throughput by this before comparing across runs.
+    calib_ops_per_sec: f64,
+    /// `points_per_sec / calib_ops_per_sec` — the machine-normalized
+    /// figure CI gates on.
+    normalized_points: f64,
+}
+
+fn write_bench_json(path: &PathBuf, cmd: &str, profile: &Profile, wall: std::time::Duration) {
+    let points = sweep::simulated_point_count() as u64;
+    let timed_accesses = thymesim_mem::timed_accesses_total();
+    let secs = wall.as_secs_f64();
+    let calib = calibrate_ops_per_sec();
+    let rec = BenchRecord {
+        command: cmd.to_string(),
+        profile: profile.name.to_string(),
+        wall_seconds: secs,
+        points,
+        points_per_sec: points as f64 / secs,
+        timed_accesses,
+        accesses_per_sec: timed_accesses as f64 / secs,
+        calib_ops_per_sec: calib,
+        normalized_points: (points as f64 / secs) / calib,
+    };
+    let text = serde_json::to_string_pretty(&rec).expect("bench record serializes");
+    std::fs::write(path, text + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    eprintln!(
+        "# bench: {:.2} points/s, {:.3e} accesses/s, calib {:.3e} ops/s -> {}",
+        rec.points_per_sec,
+        rec.accesses_per_sec,
+        calib,
+        path.display()
+    );
+}
 
 /// Time one experiment and report its wall-clock on stderr.
 fn timed(label: &str, f: impl FnOnce()) {

@@ -169,6 +169,23 @@ impl<T: Scalar> SimVec<T> {
     }
 }
 
+impl SimVec<f64> {
+    /// Untimed bulk read of elements `[i, i + out.len())` — one page walk
+    /// per covered page instead of one per element.
+    #[inline]
+    pub fn get_raw_run<R: RemoteBackend>(&self, sys: &MemSystem<R>, i: u64, out: &mut [f64]) {
+        debug_assert!(i + out.len() as u64 <= self.len, "run out of bounds");
+        sys.backing().read_f64s(self.addr(i), out);
+    }
+
+    /// Untimed bulk write of elements `[i, i + vals.len())`.
+    #[inline]
+    pub fn set_raw_run<R: RemoteBackend>(&self, sys: &mut MemSystem<R>, i: u64, vals: &[f64]) {
+        debug_assert!(i + vals.len() as u64 <= self.len, "run out of bounds");
+        sys.backing_mut().write_f64s(self.addr(i), vals);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

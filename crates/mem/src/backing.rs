@@ -4,19 +4,82 @@
 //! adjacency lists. The backing store holds those bytes, while all timing
 //! flows through the cache/DRAM/fabric models. Pages are allocated lazily
 //! so a sparsely touched multi-GiB address space costs only what is used.
+//!
+//! # Hot-path layout
+//!
+//! Every timed access ends in a page lookup here, so the store keeps two
+//! tiers:
+//!
+//! - **Dense ranges** (registered via [`Backing::with_ranges`], typically
+//!   the local and remote regions of an `AddressMap`): a flat
+//!   `Vec<Option<Box<Page>>>` indexed by `page - start`, i.e. one
+//!   subtraction and a bounds check instead of a hash probe.
+//! - **Overflow map** for anything outside the registered ranges, hashed
+//!   with a Fx-style multiply hash — `u64` page numbers don't need SipHash
+//!   (no attacker-controlled keys in a simulator), and the default hasher
+//!   dominated the access path before this split.
+//!
+//! Both tiers hold the same kind of lazily allocated 64 KiB pages;
+//! unallocated memory reads as zero either way.
 
 use crate::addr::Addr;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_SHIFT: u32 = 16; // 64 KiB pages
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+type Page = [u8; PAGE_SIZE];
+
+fn new_page() -> Box<Page> {
+    vec![0u8; PAGE_SIZE]
+        .into_boxed_slice()
+        .try_into()
+        .expect("sized above")
+}
+
+/// Fx-style multiply hasher for `u64` page numbers: a rotate-xor-multiply
+/// per word, no per-hash setup. Not DoS-resistant — irrelevant here, the
+/// keys are simulated physical page numbers.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// A contiguous page span backed by a flat vector.
+struct DenseRange {
+    start_page: u64,
+    pages: Vec<Option<Box<Page>>>,
+}
 
 /// Sparse, lazily allocated byte store over the full simulated address
 /// space (local and remote regions alike — the *data* is the same bytes
 /// wherever it physically lives; only the timing differs).
 #[derive(Default)]
 pub struct Backing {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    ranges: Vec<DenseRange>,
+    overflow: HashMap<u64, Box<Page>, FxBuild>,
 }
 
 impl Backing {
@@ -24,11 +87,47 @@ impl Backing {
         Backing::default()
     }
 
+    /// A store with dense page tables over the given `(start, len)` byte
+    /// ranges (typically the local and remote regions of an address map).
+    /// Addresses inside a range resolve with one subtraction; everything
+    /// else falls back to the overflow map.
+    pub fn with_ranges(ranges: &[(u64, u64)]) -> Backing {
+        let mut b = Backing::new();
+        for &(start, len) in ranges {
+            if len == 0 {
+                continue;
+            }
+            let start_page = start >> PAGE_SHIFT;
+            let end_page = (start + len - 1) >> PAGE_SHIFT;
+            let n = (end_page - start_page + 1) as usize;
+            b.ranges.push(DenseRange {
+                start_page,
+                pages: std::iter::repeat_with(|| None).take(n).collect(),
+            });
+        }
+        b
+    }
+
     #[inline]
-    fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_SIZE] {
-        self.pages
-            .entry(page)
-            .or_insert_with(|| vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap())
+    fn page(&self, page: u64) -> Option<&Page> {
+        for r in &self.ranges {
+            let idx = page.wrapping_sub(r.start_page);
+            if (idx as usize) < r.pages.len() {
+                return r.pages[idx as usize].as_deref();
+            }
+        }
+        self.overflow.get(&page).map(|p| &**p)
+    }
+
+    #[inline]
+    fn page_mut(&mut self, page: u64) -> &mut Page {
+        for r in &mut self.ranges {
+            let idx = page.wrapping_sub(r.start_page);
+            if (idx as usize) < r.pages.len() {
+                return r.pages[idx as usize].get_or_insert_with(new_page);
+            }
+        }
+        self.overflow.entry(page).or_insert_with(new_page)
     }
 
     /// Read `N` bytes; unallocated memory reads as zero.
@@ -38,9 +137,8 @@ impl Backing {
             N <= 16 && (a.0 as usize).is_multiple_of(N),
             "unaligned scalar access"
         );
-        let page = a.0 >> PAGE_SHIFT;
         let off = (a.0 as usize) & (PAGE_SIZE - 1);
-        match self.pages.get(&page) {
+        match self.page(a.0 >> PAGE_SHIFT) {
             Some(p) => {
                 let mut out = [0u8; N];
                 out.copy_from_slice(&p[off..off + N]);
@@ -57,9 +155,8 @@ impl Backing {
             N <= 16 && (a.0 as usize).is_multiple_of(N),
             "unaligned scalar access"
         );
-        let page = a.0 >> PAGE_SHIFT;
         let off = (a.0 as usize) & (PAGE_SIZE - 1);
-        self.page_mut(page)[off..off + N].copy_from_slice(&bytes);
+        self.page_mut(a.0 >> PAGE_SHIFT)[off..off + N].copy_from_slice(&bytes);
     }
 
     #[inline]
@@ -117,7 +214,7 @@ impl Backing {
             let page = addr >> PAGE_SHIFT;
             let off = (addr as usize) & (PAGE_SIZE - 1);
             let n = rest.len().min(PAGE_SIZE - off);
-            match self.pages.get(&page) {
+            match self.page(page) {
                 Some(p) => rest[..n].copy_from_slice(&p[off..off + n]),
                 None => rest[..n].fill(0),
             }
@@ -126,9 +223,57 @@ impl Backing {
         }
     }
 
+    /// Read a run of consecutive `f64`s; unallocated memory reads as
+    /// zero. One page walk per covered page instead of one per element —
+    /// the data-op half of a bulk-stalled STREAM line-step.
+    pub fn read_f64s(&self, a: Addr, out: &mut [f64]) {
+        debug_assert!((a.0 as usize).is_multiple_of(8), "unaligned f64 run");
+        let mut addr = a.0;
+        let mut rest: &mut [f64] = out;
+        while !rest.is_empty() {
+            let off = (addr as usize) & (PAGE_SIZE - 1);
+            let n = rest.len().min((PAGE_SIZE - off) / 8);
+            match self.page(addr >> PAGE_SHIFT) {
+                Some(p) => {
+                    for (d, ch) in rest[..n]
+                        .iter_mut()
+                        .zip(p[off..off + n * 8].chunks_exact(8))
+                    {
+                        *d = f64::from_le_bytes(ch.try_into().expect("8-byte chunk"));
+                    }
+                }
+                None => rest[..n].fill(0.0),
+            }
+            addr += (n * 8) as u64;
+            rest = &mut rest[n..];
+        }
+    }
+
+    /// Write a run of consecutive `f64`s, allocating pages on first touch.
+    pub fn write_f64s(&mut self, a: Addr, vals: &[f64]) {
+        debug_assert!((a.0 as usize).is_multiple_of(8), "unaligned f64 run");
+        let mut addr = a.0;
+        let mut rest = vals;
+        while !rest.is_empty() {
+            let off = (addr as usize) & (PAGE_SIZE - 1);
+            let n = rest.len().min((PAGE_SIZE - off) / 8);
+            let p = self.page_mut(addr >> PAGE_SHIFT);
+            for (ch, v) in p[off..off + n * 8].chunks_exact_mut(8).zip(&rest[..n]) {
+                ch.copy_from_slice(&v.to_le_bytes());
+            }
+            addr += (n * 8) as u64;
+            rest = &rest[n..];
+        }
+    }
+
     /// Host memory currently committed, in bytes.
     pub fn resident_bytes(&self) -> usize {
-        self.pages.len() * PAGE_SIZE
+        let dense: usize = self
+            .ranges
+            .iter()
+            .map(|r| r.pages.iter().filter(|p| p.is_some()).count())
+            .sum();
+        (dense + self.overflow.len()) * PAGE_SIZE
     }
 }
 
@@ -185,6 +330,48 @@ mod tests {
         b.write_u64(Addr(1 << 40), 2);
         assert_eq!(b.read_u64(Addr(0)), 1);
         assert_eq!(b.read_u64(Addr(1 << 40)), 2);
+    }
+
+    #[test]
+    fn dense_ranges_behave_like_sparse() {
+        // Same traffic against a ranged store and a plain one: identical
+        // bytes and identical residency accounting.
+        let ranges = [(0u64, 1 << 20), (1 << 40, 1 << 20)];
+        let mut dense = Backing::with_ranges(&ranges);
+        let mut sparse = Backing::new();
+        let probe = [
+            Addr(0),
+            Addr(8),
+            Addr((1 << 20) - 8),      // last page of range 0
+            Addr(1 << 40),            // first page of range 1
+            Addr((1 << 40) + 0x8000), // inside range 1
+            Addr(1 << 50),            // overflow territory
+        ];
+        for (i, &a) in probe.iter().enumerate() {
+            dense.write_u64(a, i as u64 * 31 + 7);
+            sparse.write_u64(a, i as u64 * 31 + 7);
+        }
+        for &a in &probe {
+            assert_eq!(dense.read_u64(a), sparse.read_u64(a), "at {a:?}");
+        }
+        assert_eq!(dense.resident_bytes(), sparse.resident_bytes());
+        // Unallocated reads are zero in both tiers.
+        assert_eq!(dense.read_u64(Addr(0x10000)), 0);
+        assert_eq!(dense.read_u64(Addr(1 << 45)), 0);
+    }
+
+    #[test]
+    fn dense_range_boundary_spill() {
+        // Bulk writes crossing out of a dense range land in overflow and
+        // read back seamlessly.
+        let mut b = Backing::with_ranges(&[(0, PAGE_SIZE as u64)]);
+        let base = Addr((PAGE_SIZE - 8) as u64);
+        let data: Vec<u8> = (0..32u8).collect();
+        b.write_bytes(base, &data);
+        let mut out = vec![0u8; 32];
+        b.read_bytes(base, &mut out);
+        assert_eq!(out, data);
+        assert_eq!(b.resident_bytes(), 2 * PAGE_SIZE);
     }
 
     #[test]

@@ -77,19 +77,30 @@ impl CacheStats {
     }
 }
 
+/// Sentinel tag marking an empty way. Unreachable as a real tag: a tag is
+/// `addr >> (line_shift + set_shift)`, so all-ones would require an
+/// address with every bit set in a ≥64-byte-line cache.
+const TAG_INVALID: u64 = u64::MAX;
+
 /// Write-back, write-allocate, true-LRU set-associative cache.
 ///
 /// Per-way metadata lives in flat arrays indexed `set * ways + way` for
 /// cache-friendly scans; a 120 MiB LLC is ~1 M lines ≈ 13 MB of host
-/// metadata.
+/// metadata. Validity is fused into the tag array ([`TAG_INVALID`]
+/// sentinel) so the hit scan touches one array, and each set remembers
+/// its most-recently-used way: workloads with spatial locality hit the
+/// same line back to back, making the probe O(1) in the common case.
+/// Both are pure lookup-order changes — hit/miss outcomes, LRU stamps,
+/// and victim choice are bit-for-bit those of the plain scan.
 pub struct Cache {
     cfg: CacheConfig,
     set_mask: u64,
     line_shift: u32,
     tags: Vec<u64>,
-    valid: Vec<bool>,
     dirty: Vec<bool>,
     stamp: Vec<u64>,
+    /// Way index of the last hit or fill, per set.
+    mru: Vec<u32>,
     tick: u64,
     pub stats: CacheStats,
 }
@@ -104,10 +115,10 @@ impl Cache {
             cfg,
             set_mask: cfg.sets as u64 - 1,
             line_shift: cfg.line.trailing_zeros(),
-            tags: vec![0; n],
-            valid: vec![false; n],
+            tags: vec![TAG_INVALID; n],
             dirty: vec![false; n],
             stamp: vec![0; n],
+            mru: vec![0; cfg.sets],
             tick: 0,
             stats: CacheStats::default(),
         }
@@ -128,41 +139,80 @@ impl Cache {
 
     /// Access the line containing `a`; allocates on miss (write-allocate
     /// for both reads and writes) and returns what happened.
+    #[inline]
     pub fn access(&mut self, a: Addr, write: bool) -> Lookup {
+        self.access_entry(a, write).0
+    }
+
+    /// Like [`Cache::access`], also returning the `(set, way)` the line
+    /// now occupies. The pair is an *execute-once* handle: a caller that
+    /// knows its next accesses land on the same still-resident line (e.g.
+    /// the scalars of one cache line, walked back to back with nothing
+    /// evicting in between) replays them through [`Cache::touch`] instead
+    /// of re-running the lookup — the `Stall(n-1)` half of the
+    /// execute-once-then-stall interface.
+    pub fn access_entry(&mut self, a: Addr, write: bool) -> (Lookup, u32, u32) {
         self.tick += 1;
         let (set, tag) = self.set_and_tag(a);
+        debug_assert_ne!(tag, TAG_INVALID, "address collides with the sentinel");
         let base = set * self.cfg.ways;
-        let ways = &self.tags[base..base + self.cfg.ways];
 
-        // Hit path: scan the set.
-        for (w, t) in ways.iter().enumerate() {
-            let i = base + w;
-            if self.valid[i] && *t == tag {
-                self.stamp[i] = self.tick;
-                if write {
-                    self.dirty[i] = true;
-                }
-                self.stats.hits += 1;
-                return Lookup::Hit;
+        // Hit path: most-recently-used way first (tags are unique within
+        // a set, so probe order cannot change the outcome).
+        let m = self.mru[set] as usize;
+        if self.tags[base + m] == tag {
+            let i = base + m;
+            self.stamp[i] = self.tick;
+            if write {
+                self.dirty[i] = true;
             }
+            self.stats.hits += 1;
+            return (Lookup::Hit, set as u32, m as u32);
         }
 
-        // Miss: find an invalid way, else the LRU way.
-        self.stats.misses += 1;
+        // One fused scan finds the hit way, the first invalid way, and
+        // the LRU victim — a thrashing workload (every line a miss, the
+        // shape STREAM beyond the LLC produces) would otherwise walk the
+        // set twice. Victim choice is bit-identical to the classic
+        // two-pass form: a hit needs no victim, an invalid way preempts
+        // eviction, and the LRU stamp comparison only ever saw the ways
+        // before the first invalid one (the old scan broke there).
+        let mut hit_way = None;
+        let mut first_invalid = None;
         let mut victim = base;
         let mut victim_stamp = u64::MAX;
-        let mut found_invalid = false;
         for w in 0..self.cfg.ways {
             let i = base + w;
-            if !self.valid[i] {
-                victim = i;
-                found_invalid = true;
+            let t = self.tags[i];
+            if t == tag {
+                hit_way = Some(w);
                 break;
             }
-            if self.stamp[i] < victim_stamp {
+            if t == TAG_INVALID {
+                if first_invalid.is_none() {
+                    first_invalid = Some(i);
+                }
+            } else if first_invalid.is_none() && self.stamp[i] < victim_stamp {
                 victim_stamp = self.stamp[i];
                 victim = i;
             }
+        }
+        if let Some(w) = hit_way {
+            let i = base + w;
+            self.stamp[i] = self.tick;
+            if write {
+                self.dirty[i] = true;
+            }
+            self.mru[set] = w as u32;
+            self.stats.hits += 1;
+            return (Lookup::Hit, set as u32, w as u32);
+        }
+
+        // Miss: an invalid way wins, else the LRU way.
+        self.stats.misses += 1;
+        let found_invalid = first_invalid.is_some();
+        if let Some(i) = first_invalid {
+            victim = i;
         }
 
         let mut writeback = None;
@@ -178,37 +228,127 @@ impl Cache {
         }
 
         self.tags[victim] = tag;
-        self.valid[victim] = true;
         self.dirty[victim] = write;
         self.stamp[victim] = self.tick;
-        Lookup::Miss { writeback }
+        let way = (victim - base) as u32;
+        self.mru[set] = way;
+        (Lookup::Miss { writeback }, set as u32, way)
+    }
+
+    /// Re-touch a line located by a previous [`Cache::access_entry`]
+    /// *without* re-running the lookup — the stall half of the
+    /// execute-once-then-stall interface. State evolves exactly as a full
+    /// access that hits this way would: the LRU stamp advances, a write
+    /// dirties the line, and the hit is counted.
+    ///
+    /// The caller guarantees the line is still resident at `(set, way)`:
+    /// true whenever every access since the executing lookup hit (hits
+    /// never evict). Violating that silently corrupts the LRU state, so
+    /// debug builds verify residency did not change.
+    #[inline]
+    pub fn touch(&mut self, set: u32, way: u32, write: bool) {
+        let i = set as usize * self.cfg.ways + way as usize;
+        debug_assert!((way as usize) < self.cfg.ways);
+        debug_assert_ne!(self.tags[i], TAG_INVALID, "touch of an empty way");
+        self.tick += 1;
+        self.stamp[i] = self.tick;
+        if write {
+            self.dirty[i] = true;
+        }
+        self.mru[set as usize] = way;
+        self.stats.hits += 1;
     }
 
     /// Like [`Cache::access`], but stamped with the virtual time of the
     /// access so the miss rate is reported as a windowed utilization
     /// counter (`mem.llc_miss_rate`: misses / accesses per window).
     pub fn access_at(&mut self, at: thymesim_sim::Time, a: Addr, write: bool) -> Lookup {
-        let r = self.access(a, write);
-        let miss = matches!(r, Lookup::Miss { .. });
+        self.access_at_entry(at, a, write).0
+    }
+
+    /// [`Cache::access_at`] with the `(set, way)` execute-once handle.
+    pub fn access_at_entry(
+        &mut self,
+        at: thymesim_sim::Time,
+        a: Addr,
+        write: bool,
+    ) -> (Lookup, u32, u32) {
+        let r = self.access_entry(a, write);
+        let miss = matches!(r.0, Lookup::Miss { .. });
         thymesim_telemetry::counter_ratio("mem.llc_miss_rate", at, miss as u64, 1);
         r
+    }
+
+    /// The telemetry-stamped stall: identical counter stream to a hitting
+    /// [`Cache::access_at`] at `at`, without the lookup.
+    #[inline]
+    pub fn touch_at(&mut self, at: thymesim_sim::Time, set: u32, way: u32, write: bool) {
+        self.touch(set, way, write);
+        thymesim_telemetry::counter_ratio("mem.llc_miss_rate", at, 0, 1);
+    }
+
+    /// Replay `rounds` round-robin passes over a group of resident lines
+    /// in closed form: the final state (tick, LRU stamps, dirty bits,
+    /// MRU hints, hit count) is exactly what `rounds` repetitions of
+    /// `touch(set, way, write)` over the group in order would leave, at
+    /// O(group) cost instead of O(rounds × group). The intermediate
+    /// states are never observable because every replayed access is a
+    /// hit — nothing can evict or probe between them.
+    ///
+    /// Caller contract: every `(set, way)` is resident (same as
+    /// [`Cache::touch`]) and the group's ways are distinct — both are
+    /// guaranteed when the handles come from one element's
+    /// `access_entry` calls on lines verified via `resident_at`.
+    pub fn touch_rounds(
+        &mut self,
+        touches: impl ExactSizeIterator<Item = (u32, u32, bool)>,
+        rounds: u64,
+    ) {
+        let k = touches.len() as u64;
+        if rounds == 0 || k == 0 {
+            return;
+        }
+        // Stamps of the final round: the group's idx-th member was
+        // touched at tick0 + (rounds-1)*k + idx + 1.
+        let last_round_base = self.tick + (rounds - 1) * k;
+        self.tick += rounds * k;
+        self.stats.hits += rounds * k;
+        for (idx, (set, way, write)) in touches.enumerate() {
+            let i = set as usize * self.cfg.ways + way as usize;
+            debug_assert!((way as usize) < self.cfg.ways);
+            debug_assert_ne!(self.tags[i], TAG_INVALID, "touch of an empty way");
+            self.stamp[i] = last_round_base + idx as u64 + 1;
+            if write {
+                self.dirty[i] = true;
+            }
+            self.mru[set as usize] = way;
+        }
+    }
+
+    /// Does `(set, way)` currently hold the line containing `a`? Used to
+    /// validate an execute-once handle before replaying stalls through
+    /// it. Side-effect-free.
+    #[inline]
+    pub fn resident_at(&self, a: Addr, set: u32, way: u32) -> bool {
+        let (s, tag) = self.set_and_tag(a);
+        s == set as usize && self.tags[s * self.cfg.ways + way as usize] == tag
     }
 
     /// Probe without modifying state (used by tests and invariant checks).
     pub fn contains(&self, a: Addr) -> bool {
         let (set, tag) = self.set_and_tag(a);
         let base = set * self.cfg.ways;
-        (0..self.cfg.ways).any(|w| self.valid[base + w] && self.tags[base + w] == tag)
+        (0..self.cfg.ways).any(|w| self.tags[base + w] == tag)
     }
 
     /// Invalidate everything (e.g. detach of the remote region).
     pub fn flush(&mut self) -> u64 {
         let mut dirty_lines = 0;
-        for i in 0..self.valid.len() {
-            if self.valid[i] && self.dirty[i] {
+        for i in 0..self.tags.len() {
+            if self.tags[i] != TAG_INVALID && self.dirty[i] {
                 dirty_lines += 1;
             }
-            self.valid[i] = false;
+            self.tags[i] = TAG_INVALID;
             self.dirty[i] = false;
         }
         dirty_lines
@@ -434,6 +574,32 @@ mod tests {
             }
         }
         assert!(dut.stats.hits > 1000 && dut.stats.misses > 1000);
+    }
+
+    #[test]
+    fn touch_is_equivalent_to_a_hitting_access() {
+        // Two identical caches, same traffic — one replays same-line hits
+        // through the execute-once handle, the other runs full lookups.
+        // LRU stamps, dirty bits, and stats must come out identical,
+        // observable through subsequent eviction decisions.
+        let mut full = tiny();
+        let mut stalled = tiny();
+        let (r_f, ..) = full.access_entry(Addr(0), false);
+        let (r_s, set, way) = stalled.access_entry(Addr(0), false);
+        assert_eq!(r_f, r_s);
+        // 3 more hits on the same line, one of them a write.
+        for &w in &[false, true, false] {
+            full.access(Addr(32), w); // same 64-byte line as Addr(0)
+            stalled.touch(set, way, w);
+        }
+        assert_eq!(full.stats, stalled.stats);
+        // Fill the set and evict: both must report the same dirty victim.
+        full.access(Addr(256), false);
+        stalled.access(Addr(256), false);
+        let e_f = full.access(Addr(512), false);
+        let e_s = stalled.access(Addr(512), false);
+        assert_eq!(e_f, e_s);
+        assert!(matches!(e_f, Lookup::Miss { writeback: Some(a) } if a == Addr(0)));
     }
 
     #[test]

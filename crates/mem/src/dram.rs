@@ -52,6 +52,12 @@ pub struct DramChannel {
     cfg: DramConfig,
     /// Picoseconds of bus occupancy per byte (pre-computed).
     ps_per_byte: f64,
+    /// Memo of the last `(bytes, busy)` pair: line-granular traffic asks
+    /// for the same transfer size almost every access, and the
+    /// float-multiply-and-round is deterministic per size, so one compare
+    /// replaces it on the hot path.
+    last_bytes: u64,
+    last_busy: Dur,
     next_free: Time,
     /// Per-bank row/CAS occupancy (the latency portion is per-bank).
     bank_free: Vec<Time>,
@@ -72,6 +78,8 @@ impl DramChannel {
         assert!(cfg.banks >= 1);
         DramChannel {
             ps_per_byte: 1e12 / cfg.bandwidth_bytes_per_sec,
+            last_bytes: 0,
+            last_busy: Dur::ZERO,
             next_free: Time::ZERO,
             bank_free: vec![Time::ZERO; cfg.banks],
             bytes_moved: 0,
@@ -109,7 +117,7 @@ impl DramChannel {
         if self.cfg.banks == 1 {
             // Flat channel: bus serialization + one latency adder.
             let start = at.max2(self.next_free);
-            let busy = Dur::ps((bytes as f64 * self.ps_per_byte).round() as u64);
+            let busy = self.busy_for(bytes);
             self.next_free = start + busy;
             self.bytes_moved += bytes;
             self.accesses += 1;
@@ -126,7 +134,7 @@ impl DramChannel {
         // latency phase done), then the shared bus moves the data.
         let bank = ((addr.0 / 128) % self.cfg.banks as u64) as usize;
         let start = at.max2(self.next_free).max2(self.bank_free[bank]);
-        let busy = Dur::ps((bytes as f64 * self.ps_per_byte).round() as u64);
+        let busy = self.busy_for(bytes);
         self.next_free = start + busy;
         let done = start + busy + self.cfg.latency;
         self.bank_free[bank] = done;
@@ -137,6 +145,18 @@ impl DramChannel {
             thymesim_telemetry::counter_busy(track, start, start + busy);
         }
         BusAccess { start, done }
+    }
+
+    /// Bus occupancy of a `bytes`-sized transfer. Memoized on the last
+    /// size seen; the computation is a pure function of `bytes`, so the
+    /// memo is exactly the rounded product every time.
+    #[inline]
+    fn busy_for(&mut self, bytes: u64) -> Dur {
+        if bytes != self.last_bytes {
+            self.last_bytes = bytes;
+            self.last_busy = Dur::ps((bytes as f64 * self.ps_per_byte).round() as u64);
+        }
+        self.last_busy
     }
 
     /// Mean queueing delay per access so far.

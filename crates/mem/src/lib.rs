@@ -42,4 +42,6 @@ pub use alloc::{Arena, Scalar, SimVec};
 pub use backing::Backing;
 pub use cache::{Cache, CacheConfig, CacheStats, Lookup};
 pub use dram::{shared as shared_dram, BusAccess, DramChannel, DramConfig, SharedDram};
-pub use system::{MemStats, MemSystem, NoRemote, RemoteBackend, SysTiming};
+pub use system::{
+    timed_accesses_total, LineTouch, MemStats, MemSystem, NoRemote, RemoteBackend, SysTiming,
+};

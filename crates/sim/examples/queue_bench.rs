@@ -1,0 +1,94 @@
+//! Microbenchmark: calendar EventQueue vs the reference BinaryHeap at
+//! engine-realistic occupancies. Run with
+//! `cargo run --release -p thymesim-sim --example queue_bench`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+use thymesim_sim::{EventQueue, Time};
+
+struct HeapQueue {
+    heap: BinaryHeap<Reverse<(Time, u64, u32)>>,
+    seq: u64,
+}
+
+impl HeapQueue {
+    fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+    fn push(&mut self, at: Time, v: u32) {
+        let s = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, s, v)));
+    }
+    fn pop(&mut self) -> Option<(Time, u32)> {
+        self.heap.pop().map(|Reverse((at, _, v))| (at, v))
+    }
+}
+
+/// Deterministic xorshift for reproducible gaps.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+fn scenario(occupancy: usize, iters: usize, mean_gap_ps: u64) {
+    // Hold `occupancy` events outstanding; each pop schedules a successor
+    // at now + U(0, 2*gap) — the closed-loop shape the engine produces.
+    let mut cal = EventQueue::new();
+    let mut heap = HeapQueue::new();
+
+    let mut rng = Rng(0x9e3779b97f4a7c15);
+    let mut now = Time::ZERO;
+    for i in 0..occupancy {
+        cal.push(now + thymesim_sim::Dur::ps(i as u64), i as u32);
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let (at, v) = cal.pop().unwrap();
+        now = at;
+        let gap = rng.next() % (2 * mean_gap_ps) + 1;
+        cal.push(now + thymesim_sim::Dur::ps(gap), v);
+    }
+    let cal_dt = t0.elapsed();
+
+    let mut rng = Rng(0x9e3779b97f4a7c15);
+    let mut now = Time::ZERO;
+    for i in 0..occupancy {
+        heap.push(now + thymesim_sim::Dur::ps(i as u64), i as u32);
+    }
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        let (at, v) = heap.pop().unwrap();
+        now = at;
+        let gap = rng.next() % (2 * mean_gap_ps) + 1;
+        heap.push(now + thymesim_sim::Dur::ps(gap), v);
+    }
+    let heap_dt = t1.elapsed();
+
+    println!(
+        "occ={occupancy:>6} gap={mean_gap_ps:>9}ps  calendar={:>8.1}ns/op  heap={:>8.1}ns/op  ratio={:.2}x",
+        cal_dt.as_nanos() as f64 / iters as f64,
+        heap_dt.as_nanos() as f64 / iters as f64,
+        cal_dt.as_secs_f64() / heap_dt.as_secs_f64(),
+    );
+}
+
+fn main() {
+    let iters = 2_000_000;
+    for &occ in &[2usize, 8, 32, 128, 1024, 16384] {
+        for &gap in &[1_000u64, 100_000, 10_000_000] {
+            scenario(occ, iters, gap);
+        }
+    }
+}

@@ -36,16 +36,27 @@ impl Ctx<'_> {
     }
 
     /// Schedule an event at an absolute instant (must not be in the past).
+    ///
+    /// Scheduling into the past breaks determinism silently (the event
+    /// pops "next" regardless of causality), so the check is a hard
+    /// `assert!` in every build profile — the same policy as
+    /// [`Engine::post`].
     #[inline]
     pub fn schedule_at(&mut self, at: Time, ev: Event) {
-        debug_assert!(at >= self.now, "scheduling into the past");
+        assert!(at >= self.now, "scheduling into the past");
         self.queue.push(at, ev);
     }
 
     /// Schedule an event `delay` after now.
+    ///
+    /// Checked like [`Ctx::schedule_at`]: `now + delay` wrapping around
+    /// `u64::MAX` in a release build would otherwise land the event in
+    /// the far past.
     #[inline]
     pub fn schedule_in(&mut self, delay: crate::time::Dur, ev: Event) {
-        self.queue.push(self.now + delay, ev);
+        let at = self.now + delay;
+        assert!(at >= self.now, "scheduling into the past");
+        self.queue.push(at, ev);
     }
 }
 

@@ -46,16 +46,18 @@ pub struct RunStats {
 ///
 /// The min-scan is linear in the number of processes; experiments use at
 /// most a few hundred, and each step does far more work than the scan.
+/// `next_time` takes `&self` and processes cannot reach each other, so a
+/// process's next time can only change when it steps — the executor
+/// caches the times and re-queries only the stepped process, turning the
+/// scan into a flat compare loop with no virtual calls.
 pub fn run<S: ?Sized, P: Process<S>>(procs: &mut [P], shared: &mut S, deadline: Time) -> RunStats {
-    let mut alive: Vec<bool> = vec![true; procs.len()];
+    // Done processes park at NEVER, which also encodes "blocked forever";
+    // both are unrunnable, and only Done increments `finished`.
+    let mut next: Vec<Time> = procs.iter().map(|p| p.next_time()).collect();
     let mut stats = RunStats::default();
     loop {
         let mut best: Option<(usize, Time)> = None;
-        for (i, p) in procs.iter().enumerate() {
-            if !alive[i] {
-                continue;
-            }
-            let t = p.next_time();
+        for (i, &t) in next.iter().enumerate() {
             match best {
                 Some((_, bt)) if bt <= t => {}
                 _ => best = Some((i, t)),
@@ -68,8 +70,10 @@ pub fn run<S: ?Sized, P: Process<S>>(procs: &mut [P], shared: &mut S, deadline: 
         stats.steps += 1;
         stats.end = t;
         if procs[i].step(shared) == Step::Done {
-            alive[i] = false;
+            next[i] = Time::NEVER;
             stats.finished += 1;
+        } else {
+            next[i] = procs[i].next_time();
         }
     }
     stats
