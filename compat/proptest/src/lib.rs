@@ -1,8 +1,8 @@
 //! A small, deterministic stand-in for the parts of `proptest` this
 //! workspace uses: the `proptest!` macro, range/`any`/`collection::vec`
-//! strategies, and the `prop_assert*`/`prop_assume!` macros. The build
-//! environment has no network access, so the real crate cannot be
-//! fetched.
+//! strategies, `prop_map`/`prop_oneof!` combinators, and the
+//! `prop_assert*`/`prop_assume!` macros. The build environment has no
+//! network access, so the real crate cannot be fetched.
 //!
 //! Differences from crates.io proptest, by design:
 //! - cases are drawn from a fixed RNG seeded from the test name, so
@@ -15,8 +15,8 @@ use std::ops::{Range, RangeInclusive};
 
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
-        ProptestConfig, Strategy, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, ProptestConfig, Strategy, TestCaseError,
     };
 }
 
@@ -106,6 +106,69 @@ impl TestCaseError {
 pub trait Strategy {
     type Value: Debug;
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform sampled values with `f` (proptest's `prop_map`,
+    /// without shrinking — this stand-in never shrinks).
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice between strategies of one value type — what the
+/// `prop_oneof!` macro builds (unweighted arms only).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T: Debug> Union<T> {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Union<T> {
+        Union {
+            options: Vec::new(),
+        }
+    }
+
+    pub fn or(mut self, s: impl Strategy<Value = T> + 'static) -> Union<T> {
+        self.options.push(Box::new(s));
+        self
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(
+            !self.options.is_empty(),
+            "prop_oneof! needs at least one arm"
+        );
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].sample(rng)
+    }
+}
+
+/// Pick uniformly among the listed strategies (all must yield the same
+/// value type). Unlike crates.io proptest, arms cannot carry weights.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new()$(.or($strat))+
+    };
 }
 
 macro_rules! int_range_strategies {
@@ -363,6 +426,13 @@ mod tests {
         #[test]
         fn second_fn_in_same_block(b in any::<bool>()) {
             prop_assert_eq!(b as u8 * 2, b as u8 + b as u8);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            x in prop_oneof![0u64..10, (0u32..5).prop_map(|e| 100u64 << e)],
+        ) {
+            prop_assert!(x < 10 || (x >= 100 && x.trailing_zeros() >= 2));
         }
     }
 }

@@ -7,7 +7,8 @@
 //!
 //! Subcommands: `validate` (Fig 2 + Fig 3 + §III-B checks), `fig4`,
 //! `table1`, `fig5`, `fig6`, `fig7`, `dist` (the §VII future-work
-//! extension), `ablate` (window / write-back-gating ablations), `all`.
+//! extension), `ablate` (window / write-back-gating ablations), `serve`
+//! (E17 open-loop serving tails + admission control), `all`.
 //!
 //! Profiles trade run time for scale (working sets and caches scale
 //! together so every workload stays memory-bound):
@@ -143,6 +144,7 @@ fn main() {
         "topology" => timed("topology", || run_topology(&profile)),
         "pooling" => timed("pooling", || run_pooling(&profile)),
         "qos" => timed("qos", || run_qos(&profile)),
+        "serve" => timed("serve", || run_serve(&profile)),
         "sensitivity" => timed("sensitivity", || run_sensitivity(&profile)),
         "placement" => timed("placement", || run_placement(&profile)),
         "list" => {
@@ -159,6 +161,7 @@ fn main() {
             println!("topology    E11b intra- vs cross-rack borrowing");
             println!("pooling     E12 §V memory pooling");
             println!("qos         E13 §IV-D page migration");
+            println!("serve       E17 open-loop serving tails + admission control");
             println!("sensitivity E15 calibration tornado");
             println!("placement   E16 contention-aware allocator");
             println!("all         everything above");
@@ -176,13 +179,15 @@ fn main() {
             timed("topology", || run_topology(&profile));
             timed("pooling", || run_pooling(&profile));
             timed("qos", || run_qos(&profile));
+            timed("serve", || run_serve(&profile));
             timed("sensitivity", || run_sensitivity(&profile));
             timed("placement", || run_placement(&profile));
         }
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: validate fig2 fig3 fig4 \
-                 table1 fig5 fig6 fig7 dist ablate congestion topology pooling qos sensitivity placement all"
+                 table1 fig5 fig6 fig7 dist ablate congestion topology pooling qos serve \
+                 sensitivity placement all"
             );
             std::process::exit(2);
         }
@@ -635,6 +640,41 @@ fn run_qos(p: &Profile) {
     let points = qos::page_migration_study(&p.testbed, gcfg, GraphKernel::Bfs, 400, budget);
     save_json("qos", &points);
     print!("{}", report::qos_md(&points));
+}
+
+fn run_serve(p: &Profile) {
+    let s = &p.serve;
+    banner("E17 — open-loop serving tails: PERIOD × contention × offered rate");
+    let points = qos::serve_tail(
+        &p.testbed,
+        &s.serve,
+        &s.bg_stream,
+        &s.periods,
+        &s.contention,
+        &s.rates,
+    );
+    save_json("serve_tail", &points);
+    print!("{}", report::serve_tail_csv(&points));
+    banner("E17 — tail columns at the highest offered rate");
+    let top = s.rates.last().copied().unwrap_or(0.0);
+    let slice: Vec<_> = points
+        .iter()
+        .filter(|pt| (pt.offered_ops_s - top).abs() < 1.0)
+        .cloned()
+        .collect();
+    print!("{}", report::serve_tail_md(&slice));
+    banner(&format!(
+        "E17 — admission control at PERIOD={}, {:.0} op/s offered",
+        s.admission_period, s.admission_rate
+    ));
+    let study = qos::admission_study(
+        &p.testbed,
+        &s.serve.with_offered_rate(s.admission_rate),
+        s.admission_period,
+        &s.policies,
+    );
+    save_json("serve_admission", &study);
+    print!("{}", report::admission_md(&study));
 }
 
 fn run_sensitivity(p: &Profile) {

@@ -6,8 +6,41 @@
 
 use thymesim_core::prelude::*;
 use thymesim_mem::CacheConfig;
+use thymesim_sim::Dur;
 use thymesim_workloads::graph500::Graph500Config;
 use thymesim_workloads::kv::KvConfig;
+
+/// The open-loop serving campaign's scale (E17): engine configuration
+/// plus the grid axes of the `serve_tail` sweep (PERIOD × contention ×
+/// offered rate) and the stressed point of the admission study.
+#[derive(Clone, Debug)]
+pub struct ServeScale {
+    pub serve: ServeConfig,
+    /// Background STREAM shape for the contention points (per-axis mlp
+    /// is specialized inside `serve_tail`).
+    pub bg_stream: StreamConfig,
+    pub periods: Vec<u64>,
+    pub contention: Vec<(ServeContention, usize)>,
+    pub rates: Vec<f64>,
+    /// The overloaded point the admission policies are judged at.
+    pub admission_period: u64,
+    pub admission_rate: f64,
+    pub policies: Vec<AdmissionPolicy>,
+}
+
+impl ServeScale {
+    fn policies_for(queue_cap: u32) -> Vec<AdmissionPolicy> {
+        vec![
+            AdmissionPolicy::Open,
+            AdmissionPolicy::Drop { queue_cap },
+            AdmissionPolicy::Throttle {
+                queue_cap,
+                backoff: Dur::us(50),
+            },
+            AdmissionPolicy::Priority { queue_cap },
+        ]
+    }
+}
 
 /// An experiment scale: testbed + workload sizes, chosen together so
 /// working sets exceed the LLC at every profile.
@@ -17,6 +50,7 @@ pub struct Profile {
     pub testbed: TestbedConfig,
     pub stream: StreamConfig,
     pub apps: AppScale,
+    pub serve: ServeScale,
 }
 
 impl Profile {
@@ -32,6 +66,28 @@ impl Profile {
             roots: 2,
             ..Graph500Config::tiny()
         };
+        let serve = ServeScale {
+            serve: ServeConfig {
+                arrivals: 1500,
+                ..ServeConfig::tiny()
+            },
+            bg_stream: StreamConfig {
+                elements: 16_384,
+                ..StreamConfig::tiny()
+            },
+            periods: vec![1, 100, 400],
+            contention: vec![
+                (ServeContention::None, 0),
+                (ServeContention::Mcbn, 1),
+                (ServeContention::Mcbn, 2),
+                (ServeContention::Mcln, 2),
+                (ServeContention::Mcln, 6),
+            ],
+            rates: vec![20_000.0, 60_000.0],
+            admission_period: 400,
+            admission_rate: 100_000.0,
+            policies: ServeScale::policies_for(8),
+        };
         Profile {
             name: "quick",
             apps: AppScale {
@@ -41,6 +97,7 @@ impl Profile {
             },
             testbed,
             stream,
+            serve,
         }
     }
 
@@ -71,6 +128,30 @@ impl Profile {
             requests_per_conn: 25,
             ..KvConfig::default()
         };
+        let serve = ServeScale {
+            serve: ServeConfig {
+                keys: 20_000,
+                arrivals: 6_000,
+                ..ServeConfig::default()
+            },
+            bg_stream: StreamConfig {
+                elements: 131_072,
+                ..StreamConfig::default()
+            },
+            periods: vec![1, 100, 400, 1000],
+            contention: vec![
+                (ServeContention::None, 0),
+                (ServeContention::Mcbn, 1),
+                (ServeContention::Mcbn, 2),
+                (ServeContention::Mcbn, 4),
+                (ServeContention::Mcln, 2),
+                (ServeContention::Mcln, 6),
+            ],
+            rates: vec![20_000.0, 60_000.0, 100_000.0],
+            admission_period: 400,
+            admission_rate: 100_000.0,
+            policies: ServeScale::policies_for(8),
+        };
         Profile {
             name: "medium",
             apps: AppScale {
@@ -83,6 +164,7 @@ impl Profile {
             },
             testbed,
             stream,
+            serve,
         }
     }
 
@@ -102,6 +184,30 @@ impl Profile {
             requests_per_conn: 100,
             ..KvConfig::default()
         };
+        let serve = ServeScale {
+            serve: ServeConfig {
+                keys: 500_000,
+                arrivals: 20_000,
+                ..ServeConfig::default()
+            },
+            bg_stream: StreamConfig {
+                elements: 1_000_000,
+                ..StreamConfig::default()
+            },
+            periods: vec![1, 100, 400, 1000],
+            contention: vec![
+                (ServeContention::None, 0),
+                (ServeContention::Mcbn, 1),
+                (ServeContention::Mcbn, 2),
+                (ServeContention::Mcbn, 4),
+                (ServeContention::Mcln, 2),
+                (ServeContention::Mcln, 6),
+            ],
+            rates: vec![20_000.0, 60_000.0, 100_000.0],
+            admission_period: 400,
+            admission_rate: 100_000.0,
+            policies: ServeScale::policies_for(8),
+        };
         Profile {
             name: "paper",
             apps: AppScale {
@@ -114,6 +220,7 @@ impl Profile {
             },
             testbed,
             stream,
+            serve,
         }
     }
 
@@ -128,11 +235,14 @@ impl Profile {
 
     pub fn describe(&self) -> String {
         format!(
-            "LLC {} MiB, STREAM {} elements, Graph500 scale {}, KV {} keys",
+            "LLC {} MiB, STREAM {} elements, Graph500 scale {}, KV {} keys, \
+             serve {} arrivals x {} grid points",
             self.testbed.borrower.cache.capacity_bytes() >> 20,
             self.stream.elements,
             self.apps.graph_parallel.scale,
             self.apps.kv.keys,
+            self.serve.serve.arrivals,
+            self.serve.periods.len() * self.serve.contention.len() * self.serve.rates.len(),
         )
     }
 }
@@ -190,6 +300,36 @@ mod tests {
                 p.name,
                 graph_bytes
             );
+            let serve_bytes = p.serve.serve.keys * (p.serve.serve.value_bytes + 128);
+            assert!(
+                serve_bytes > cache,
+                "{}: serve store {} B fits in {} B cache",
+                p.name,
+                serve_bytes,
+                cache
+            );
+        }
+    }
+
+    #[test]
+    fn serve_scales_are_wellformed() {
+        for p in [Profile::quick(), Profile::medium(), Profile::paper()] {
+            let s = &p.serve;
+            assert!(!s.periods.is_empty() && !s.contention.is_empty() && !s.rates.is_empty());
+            assert_eq!(
+                s.contention[0],
+                (ServeContention::None, 0),
+                "{}: the uncontended baseline leads the axis",
+                p.name
+            );
+            assert!(s.rates.windows(2).all(|w| w[0] < w[1]));
+            assert!(s.periods.windows(2).all(|w| w[0] < w[1]));
+            assert!(
+                s.rates.iter().all(|&r| s.admission_rate >= r),
+                "{}: the admission study runs at the most stressed rate",
+                p.name
+            );
+            assert!(matches!(s.policies[0], AdmissionPolicy::Open));
         }
     }
 

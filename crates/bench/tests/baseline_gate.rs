@@ -132,6 +132,34 @@ fn baseline_gate_round_trip_and_negative_path() {
         "offending stage {stage_name} must be named: {err}"
     );
 
+    // 3b2. Perturb one stage *p999 tail band* while leaving the stage
+    //      mean untouched: a fattened tail with an unmoved mean must
+    //      still exit 1, and the report must say p999, not mean.
+    let mut tail_bad = base.clone();
+    let tail_stage = {
+        let stage = tail_bad.sweeps[0]
+            .stages
+            .iter_mut()
+            .find(|s| s.p999_ps > 0)
+            .expect("a stage with a populated tail band");
+        stage.p999_ps = (stage.p999_ps as f64 * 1.5) as u64;
+        stage.stage.clone()
+    };
+    let tail_bad_path = dir.join("tail_bad.json");
+    std::fs::write(
+        &tail_bad_path,
+        serde_json::to_string_pretty(&tail_bad).unwrap(),
+    )
+    .unwrap();
+    let out = check_against(&tail_bad_path);
+    assert_eq!(out.status.code(), Some(1), "tail drift must exit 1");
+    let err = stderr_of(&out);
+    assert!(
+        err.contains(&tail_stage),
+        "offending stage {tail_stage} must be named: {err}"
+    );
+    assert!(err.contains("p999"), "tail band must be named: {err}");
+
     // 3c. Perturb one *counter* utilization mean while leaving every
     //     stage and phase band untouched: drift confined to a counter
     //     track must still exit 1, naming `counter <name>`.

@@ -1,23 +1,33 @@
-//! E13 — a page-migration QoS mechanism built from the paper's §IV-D
+//! E13/E17 — QoS under disaggregation.
+//!
+//! **E13** is a page-migration mechanism built from the paper's §IV-D
 //! insight: "applications with higher sensitivity to remote memory access
 //! latency can benefit from additional resource allocation such as …
-//! page migration to local memory".
+//! page migration to local memory". The study profiles Graph500's
+//! per-array access density (accesses per byte), lets a greedy migrator
+//! fill a local-memory budget with the densest arrays, and measures the
+//! JCT improvement under delay — exactly the decision an OS-level
+//! hot-page migrator converges to, evaluated at object granularity.
 //!
-//! The study profiles Graph500's per-array access density (accesses per
-//! byte), lets a greedy migrator fill a local-memory budget with the
-//! densest arrays, and measures the JCT improvement under delay —
-//! exactly the decision an OS-level hot-page migrator converges to,
-//! evaluated at object granularity.
+//! **E17** is the open-loop serving-tail campaign: the KV stack driven
+//! by `thymesim-serve`'s arrival processes under PERIOD × contention ×
+//! arrival rate, reporting p99/p999/max sojourn next to the mean. The
+//! closed-loop memtier client of §IV-D cannot see queueing delay (each
+//! connection self-throttles); here the tail/mean divergence the paper's
+//! setup hides becomes the measured quantity, and admission-control
+//! policies are evaluated against it.
 
 use crate::config::TestbedConfig;
 use crate::runners::GraphKernel;
 use crate::sweep;
 use crate::testbed::Testbed;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use thymesim_fabric::DelaySpec;
 use thymesim_mem::SimVec;
-use thymesim_sim::Time;
+use thymesim_serve::{AdmissionPolicy, ServeConfig, ServeProcess, ServeReport};
+use thymesim_sim::{Step, Time};
 use thymesim_workloads::graph500::{self, Graph500Config, GraphArray, GraphPlacement};
+use thymesim_workloads::stream::{StreamArrays, StreamConfig, StreamProcess};
 
 /// Estimated traffic profile of one CSR array for a BFS/SSSP run.
 #[derive(Clone, Debug, Serialize)]
@@ -224,6 +234,337 @@ pub fn page_migration_study(
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// E17 — open-loop serving tails
+// ---------------------------------------------------------------------------
+
+/// Which contention axis stresses the serving point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum ServeContention {
+    /// The serving stack alone.
+    None,
+    /// Fig. 6's axis: N borrower STREAM instances over disaggregated
+    /// memory compete with the store for the NIC/network.
+    Mcbn,
+    /// Fig. 7's axis: N lender-side STREAM instances hammer the lender
+    /// bus that remote reads must also cross.
+    Mcln,
+}
+
+impl ServeContention {
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServeContention::None => "none",
+            ServeContention::Mcbn => "mcbn",
+            ServeContention::Mcln => "mcln",
+        }
+    }
+}
+
+/// A contending STREAM instance that loops for as long as the serving
+/// window lasts: on completion it restarts at the current virtual time,
+/// so the background pressure never drains away mid-measurement.
+enum Background {
+    Borrower {
+        cfg: StreamConfig,
+        arrays: StreamArrays,
+        p: StreamProcess,
+    },
+    Lender {
+        cfg: StreamConfig,
+        arrays: StreamArrays,
+        p: StreamProcess,
+    },
+}
+
+impl Background {
+    fn next_time(&self) -> Time {
+        match self {
+            Background::Borrower { p, .. } | Background::Lender { p, .. } => p.next_time(),
+        }
+    }
+
+    fn step(&mut self, tb: &mut Testbed) {
+        match self {
+            Background::Borrower { cfg, arrays, p } => {
+                let at = p.next_time();
+                if p.step_on(&mut tb.borrower) == Step::Done {
+                    *p = StreamProcess::new(*cfg, *arrays, at);
+                }
+            }
+            Background::Lender { cfg, arrays, p } => {
+                let at = p.next_time();
+                if p.step_on(&mut tb.lender) == Step::Done {
+                    *p = StreamProcess::new(*cfg, *arrays, at);
+                }
+            }
+        }
+    }
+}
+
+/// Step the serving engine and the background instances on one virtual
+/// timeline — earliest next event first, the engine winning ties — until
+/// the engine drains its arrival stream. A custom loop instead of
+/// `run_processes` because the background must *loop*, not finish.
+fn run_open_loop(tb: &mut Testbed, mut serve: ServeProcess, bg: &mut [Background]) -> ServeReport {
+    loop {
+        let at = serve.next_time();
+        let mut who = None;
+        let mut best = at;
+        for (i, b) in bg.iter().enumerate() {
+            let t = b.next_time();
+            if t < best {
+                best = t;
+                who = Some(i);
+            }
+        }
+        match who {
+            None => {
+                if serve.step_on(&mut tb.borrower) == Step::Done {
+                    return serve.report().clone();
+                }
+            }
+            Some(i) => bg[i].step(tb),
+        }
+    }
+}
+
+fn spawn_background(
+    tb: &mut Testbed,
+    contention: ServeContention,
+    instances: usize,
+    stream: &StreamConfig,
+) -> Vec<Background> {
+    let start = tb.attach.ready_at;
+    (0..instances)
+        .map(|_| match contention {
+            ServeContention::None => unreachable!("no background for ServeContention::None"),
+            ServeContention::Mcbn => {
+                let arrays = StreamArrays::alloc(&mut tb.remote_arena, stream.elements);
+                arrays.init(&mut tb.borrower);
+                Background::Borrower {
+                    cfg: *stream,
+                    arrays,
+                    p: StreamProcess::new(*stream, arrays, start),
+                }
+            }
+            ServeContention::Mcln => {
+                let arrays = StreamArrays::alloc(&mut tb.lender_arena, stream.elements);
+                arrays.init(&mut tb.lender);
+                Background::Lender {
+                    cfg: *stream,
+                    arrays,
+                    p: StreamProcess::new(*stream, arrays, start),
+                }
+            }
+        })
+        .collect()
+}
+
+/// Build the testbed, inject the delay, and run one open-loop point.
+fn run_serve_point(
+    base: &TestbedConfig,
+    serve: ServeConfig,
+    period: u64,
+    contention: ServeContention,
+    instances: usize,
+    stream: &StreamConfig,
+) -> ServeReport {
+    let mut tb = Testbed::build(base).expect("serve attach");
+    tb.borrower
+        .remote_mut()
+        .set_delay(DelaySpec::Period(period));
+    let n = if contention == ServeContention::None {
+        0
+    } else {
+        instances
+    };
+    let mut bg = spawn_background(&mut tb, contention, n, stream);
+    let start = tb.attach.ready_at;
+    let proc = {
+        let Testbed {
+            borrower,
+            remote_arena,
+            ..
+        } = &mut tb;
+        ServeProcess::new(serve, borrower, remote_arena, start)
+    };
+    run_open_loop(&mut tb, proc, &mut bg)
+}
+
+/// One E17 sweep cell: the tail columns next to the mean.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServeTailPoint {
+    pub period: u64,
+    pub contention: String,
+    pub instances: usize,
+    pub policy: String,
+    pub offered_ops_s: f64,
+    pub arrivals: u64,
+    pub admitted: u64,
+    pub dropped: u64,
+    pub sojourn_mean_us: f64,
+    pub sojourn_p50_us: f64,
+    pub sojourn_p99_us: f64,
+    pub sojourn_p999_us: f64,
+    pub sojourn_max_us: f64,
+    pub queue_wait_mean_us: f64,
+    pub queue_wait_p999_us: f64,
+    /// p999 / mean of the sojourn — the divergence figure of merit.
+    pub tail_ratio: f64,
+}
+
+fn us(ps: u64) -> f64 {
+    ps as f64 / 1e6
+}
+
+impl ServeTailPoint {
+    fn from_report(
+        r: &ServeReport,
+        serve: &ServeConfig,
+        period: u64,
+        contention: ServeContention,
+        instances: usize,
+    ) -> ServeTailPoint {
+        ServeTailPoint {
+            period,
+            contention: contention.label().into(),
+            instances,
+            policy: serve.policy.label(),
+            offered_ops_s: serve.offered_ops_per_sec(),
+            arrivals: r.arrivals,
+            admitted: r.admitted,
+            dropped: r.dropped,
+            sojourn_mean_us: r.sojourn.mean() / 1e6,
+            sojourn_p50_us: us(r.sojourn.quantile(0.5)),
+            sojourn_p99_us: us(r.sojourn.p99()),
+            sojourn_p999_us: us(r.sojourn.p999()),
+            sojourn_max_us: us(r.sojourn.max()),
+            queue_wait_mean_us: r.queue_wait.mean() / 1e6,
+            queue_wait_p999_us: us(r.queue_wait.p999()),
+            tail_ratio: r.tail_ratio(),
+        }
+    }
+}
+
+/// MCBN background streams run at a moderated memory-level parallelism.
+/// At the STREAM default (128 outstanding lines) a single instance
+/// exhausts the fabric's credit window outright and the serving point
+/// collapses instead of degrading — the graded borrower-side axis
+/// Fig. 6 measures disappears into immediate saturation.
+pub const MCBN_BG_MLP: usize = 16;
+
+/// MCLN background streams keep deep pipelining: the interference
+/// mechanism is lender *bus* occupancy, which scales with how far ahead
+/// the stream's reservations run (~mlp × line-time).
+pub const MCLN_BG_MLP: usize = 128;
+
+/// MCLN points model the lender as a pooled memory slice with a single
+/// DDR-channel share of bandwidth rather than the whole socket's.
+/// At the default 140 GB/s the lender bus never develops a queue that a
+/// remote read can observe (reservations run only ~mlp × 0.9 ns ahead
+/// of the stream's own virtual time), so lender-side interference would
+/// be structurally invisible no matter how many instances run.
+pub const MCLN_LENDER_BUS: f64 = 20e9;
+
+/// The E17 grid: PERIOD × contention × offered rate.
+///
+/// Contention points are specialized at grid-build time (so the sweep
+/// memo-cache keys capture the exact configuration): MCBN instances run
+/// at [`MCBN_BG_MLP`], MCLN instances at [`MCLN_BG_MLP`] against a
+/// lender bus narrowed to [`MCLN_LENDER_BUS`].
+pub fn serve_tail(
+    base: &TestbedConfig,
+    serve: &ServeConfig,
+    stream: &StreamConfig,
+    periods: &[u64],
+    contention: &[(ServeContention, usize)],
+    rates: &[f64],
+) -> Vec<ServeTailPoint> {
+    #[derive(Clone, Debug, Serialize)]
+    struct Point {
+        period: u64,
+        contention: ServeContention,
+        instances: usize,
+        rate: f64,
+        cfg: TestbedConfig,
+        serve: ServeConfig,
+        stream: StreamConfig,
+    }
+    let mut grid = Vec::new();
+    for &period in periods {
+        for &(kind, instances) in contention {
+            for &rate in rates {
+                let mut cfg = base.clone();
+                let mut bg = *stream;
+                match kind {
+                    ServeContention::None => {}
+                    ServeContention::Mcbn => bg.mlp = MCBN_BG_MLP,
+                    ServeContention::Mcln => {
+                        bg.mlp = MCLN_BG_MLP;
+                        cfg.lender.dram.bandwidth_bytes_per_sec = MCLN_LENDER_BUS;
+                    }
+                }
+                grid.push(Point {
+                    period,
+                    contention: kind,
+                    instances,
+                    rate,
+                    cfg,
+                    serve: serve.with_offered_rate(rate),
+                    stream: bg,
+                });
+            }
+        }
+    }
+    sweep::run("serve/tail", &grid, |_ctx, pt| {
+        let r = run_serve_point(
+            &pt.cfg,
+            pt.serve,
+            pt.period,
+            pt.contention,
+            pt.instances,
+            &pt.stream,
+        );
+        ServeTailPoint::from_report(&r, &pt.serve, pt.period, pt.contention, pt.instances)
+    })
+}
+
+/// The E17 admission study: the same stressed point under each policy,
+/// measured against the open (no-policy) tail.
+pub fn admission_study(
+    base: &TestbedConfig,
+    serve: &ServeConfig,
+    period: u64,
+    policies: &[AdmissionPolicy],
+) -> Vec<ServeTailPoint> {
+    #[derive(Clone, Debug, Serialize)]
+    struct Point {
+        period: u64,
+        cfg: TestbedConfig,
+        serve: ServeConfig,
+    }
+    let grid: Vec<Point> = policies
+        .iter()
+        .map(|&policy| Point {
+            period,
+            cfg: base.clone(),
+            serve: ServeConfig { policy, ..*serve },
+        })
+        .collect();
+    sweep::run("serve/admission", &grid, |_ctx, pt| {
+        let r = run_serve_point(
+            &pt.cfg,
+            pt.serve,
+            pt.period,
+            ServeContention::None,
+            0,
+            &StreamConfig::tiny(),
+        );
+        ServeTailPoint::from_report(&r, &pt.serve, pt.period, ServeContention::None, 0)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +611,137 @@ mod tests {
     fn zero_budget_migrates_nothing() {
         let plan = plan_migration(&gcfg(), GraphKernel::Bfs, TINY_LLC, 0);
         assert!(plan.out_remote && plan.xadj_remote && plan.adj_remote);
+    }
+
+    fn serve_cfg() -> ServeConfig {
+        ServeConfig {
+            arrivals: 1500,
+            ..ServeConfig::tiny()
+        }
+    }
+
+    #[test]
+    fn tail_diverges_with_period_and_rate() {
+        let base = TestbedConfig::tiny();
+        let points = serve_tail(
+            &base,
+            &serve_cfg(),
+            &StreamConfig::tiny(),
+            &[1, 100, 400],
+            &[(ServeContention::None, 0)],
+            &[20_000.0, 60_000.0],
+        );
+        assert_eq!(points.len(), 6);
+        let ratio = |period: u64, rate: f64| {
+            points
+                .iter()
+                .find(|p| p.period == period && (p.offered_ops_s - rate).abs() < 1.0)
+                .unwrap()
+                .tail_ratio
+        };
+        for rate in [20_000.0, 60_000.0] {
+            assert!(
+                ratio(1, rate) < ratio(100, rate) && ratio(100, rate) < ratio(400, rate),
+                "tail/mean divergence must grow with PERIOD at {rate} ops/s: {points:?}"
+            );
+        }
+        for period in [1, 100, 400] {
+            assert!(
+                ratio(period, 20_000.0) < ratio(period, 60_000.0),
+                "tail/mean divergence must grow with offered load at P={period}: {points:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn contention_fattens_the_tail() {
+        let base = TestbedConfig::tiny();
+        let mut stream = StreamConfig::tiny();
+        stream.elements = 16_384;
+        let points = serve_tail(
+            &base,
+            &serve_cfg(),
+            &stream,
+            &[100],
+            &[
+                (ServeContention::None, 0),
+                (ServeContention::Mcbn, 1),
+                (ServeContention::Mcbn, 2),
+                (ServeContention::Mcln, 2),
+                (ServeContention::Mcln, 6),
+            ],
+            &[20_000.0],
+        );
+        let pick = |label: &str, n: usize| {
+            points
+                .iter()
+                .find(|p| p.contention == label && p.instances == n)
+                .unwrap()
+        };
+        let spread = |p: &ServeTailPoint| p.sojourn_p999_us - p.sojourn_mean_us;
+        let none = pick("none", 0);
+        let mcbn = [pick("mcbn", 1), pick("mcbn", 2)];
+        let mcln = [pick("mcln", 2), pick("mcln", 6)];
+        // Borrower-side (Fig. 6 axis): every added instance pushes both
+        // the absolute tail and its distance from the mean outward.
+        assert!(
+            none.sojourn_p999_us < mcbn[0].sojourn_p999_us
+                && mcbn[0].sojourn_p999_us < mcbn[1].sojourn_p999_us,
+            "p999 must grow along the MCBN axis: {points:?}"
+        );
+        assert!(
+            spread(none) < spread(mcbn[0]) && spread(mcbn[0]) < spread(mcbn[1]),
+            "p999-mean spread must grow along the MCBN axis: {points:?}"
+        );
+        // Lender-side (Fig. 7 axis): same shape through the shared bus.
+        assert!(
+            none.sojourn_p999_us < mcln[0].sojourn_p999_us
+                && mcln[0].sojourn_p999_us < mcln[1].sojourn_p999_us,
+            "p999 must grow along the MCLN axis: {points:?}"
+        );
+        assert!(
+            spread(none) < spread(mcln[0]) && spread(mcln[0]) < spread(mcln[1]),
+            "p999-mean spread must grow along the MCLN axis: {points:?}"
+        );
+    }
+
+    #[test]
+    fn admission_control_caps_the_tail() {
+        let base = TestbedConfig::tiny();
+        let serve = serve_cfg().with_offered_rate(100_000.0);
+        let points = admission_study(
+            &base,
+            &serve,
+            400,
+            &[
+                AdmissionPolicy::Open,
+                AdmissionPolicy::Drop { queue_cap: 8 },
+                AdmissionPolicy::Throttle {
+                    queue_cap: 8,
+                    backoff: thymesim_sim::Dur::us(50),
+                },
+            ],
+        );
+        let open = &points[0];
+        let drop = &points[1];
+        let throttle = &points[2];
+        assert!(
+            drop.dropped > 0 && drop.sojourn_p999_us < open.sojourn_p999_us * 0.5,
+            "a drop policy must measurably cap p999 vs open: {points:?}"
+        );
+        assert_eq!(
+            throttle.dropped, 0,
+            "throttling defers, it never sheds: {points:?}"
+        );
+        assert_eq!(throttle.admitted, throttle.arrivals);
+        // Deferral time is charged to the sojourn (the client still
+        // waits for its answer), so under sustained 4x overload the
+        // throttled mean balloons while the *ratio* collapses: the
+        // policy trades tail surprise for predictable slowness.
+        assert!(
+            throttle.tail_ratio < open.tail_ratio,
+            "throttling must flatten the tail/mean divergence: {points:?}"
+        );
     }
 
     #[test]

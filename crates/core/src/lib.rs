@@ -41,7 +41,8 @@ pub mod prelude {
     pub use crate::experiments::dist::{dist_sweep, DistPoint};
     pub use crate::experiments::placement::{placement_study, PlacementPoint, PlacementPolicy};
     pub use crate::experiments::qos::{
-        page_migration_study, plan_migration, profile_arrays, ArrayProfile, QosPoint,
+        admission_study, page_migration_study, plan_migration, profile_arrays, serve_tail,
+        ArrayProfile, QosPoint, ServeContention, ServeTailPoint,
     };
     pub use crate::experiments::resilience::{
         resilience_sweep, ResilienceOutcome, ResiliencePoint, FIG4_PERIODS,
@@ -59,6 +60,7 @@ pub mod prelude {
     pub use crate::testbed::Testbed;
     pub use thymesim_fabric::{Crash, DelaySpec};
     pub use thymesim_net::{TreeConfig, TreeTopology};
+    pub use thymesim_serve::{AdmissionPolicy, ArrivalPattern, ServeConfig};
     pub use thymesim_workloads::graph500::Graph500Config;
     pub use thymesim_workloads::kv::KvConfig;
     pub use thymesim_workloads::probe::{ChaseTable, ProbeConfig};

@@ -6,7 +6,7 @@ use crate::experiments::beyond::{CongestionPoint, EmulationReport, PoolingPoint,
 use crate::experiments::contention::{McbnPoint, MclnPoint};
 use crate::experiments::dist::DistPoint;
 use crate::experiments::placement::PlacementPoint;
-use crate::experiments::qos::QosPoint;
+use crate::experiments::qos::{QosPoint, ServeTailPoint};
 use crate::experiments::resilience::{ResilienceOutcome, ResiliencePoint};
 use crate::experiments::sensitivity::SensitivityRow;
 use crate::experiments::validate::{DelaySweepPoint, ValidationReport};
@@ -341,6 +341,112 @@ pub fn qos_md(points: &[QosPoint]) -> String {
     s
 }
 
+/// E17 serving tails as a markdown table: the tail columns (p99, p999,
+/// max) sit next to the mean so the divergence the closed-loop client
+/// hides is visible in one row.
+pub fn serve_tail_md(points: &[ServeTailPoint]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "| PERIOD | contention | offered op/s | mean µs | p50 | p99 | p999 | max | p999/mean |"
+    );
+    let _ = writeln!(s, "|---|---|---|---|---|---|---|---|---|");
+    for p in points {
+        let contention = if p.instances == 0 {
+            p.contention.clone()
+        } else {
+            format!("{}x{}", p.contention, p.instances)
+        };
+        let _ = writeln!(
+            s,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {}x |",
+            p.period,
+            contention,
+            fmt(p.offered_ops_s),
+            fmt(p.sojourn_mean_us),
+            fmt(p.sojourn_p50_us),
+            fmt(p.sojourn_p99_us),
+            fmt(p.sojourn_p999_us),
+            fmt(p.sojourn_max_us),
+            fmt(p.tail_ratio)
+        );
+    }
+    s
+}
+
+/// E17 serving tails as CSV (figure data for the sweep grid).
+pub fn serve_tail_csv(points: &[ServeTailPoint]) -> String {
+    csv(
+        &[
+            "period",
+            "contention",
+            "instances",
+            "policy",
+            "offered_ops_s",
+            "arrivals",
+            "admitted",
+            "dropped",
+            "sojourn_mean_us",
+            "sojourn_p50_us",
+            "sojourn_p99_us",
+            "sojourn_p999_us",
+            "sojourn_max_us",
+            "queue_wait_mean_us",
+            "queue_wait_p999_us",
+            "tail_ratio",
+        ],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.period.to_string(),
+                    p.contention.clone(),
+                    p.instances.to_string(),
+                    p.policy.clone(),
+                    fmt(p.offered_ops_s),
+                    p.arrivals.to_string(),
+                    p.admitted.to_string(),
+                    p.dropped.to_string(),
+                    fmt(p.sojourn_mean_us),
+                    fmt(p.sojourn_p50_us),
+                    fmt(p.sojourn_p99_us),
+                    fmt(p.sojourn_p999_us),
+                    fmt(p.sojourn_max_us),
+                    fmt(p.queue_wait_mean_us),
+                    fmt(p.queue_wait_p999_us),
+                    fmt(p.tail_ratio),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// E17 admission study as a markdown table: each policy against the
+/// open baseline's tail.
+pub fn admission_md(points: &[ServeTailPoint]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "| policy | admitted | dropped | mean µs | p99 | p999 | wait p999 | p999/mean |"
+    );
+    let _ = writeln!(s, "|---|---|---|---|---|---|---|---|");
+    for p in points {
+        let _ = writeln!(
+            s,
+            "| {} | {} | {} | {} | {} | {} | {} | {}x |",
+            p.policy,
+            p.admitted,
+            p.dropped,
+            fmt(p.sojourn_mean_us),
+            fmt(p.sojourn_p99_us),
+            fmt(p.sojourn_p999_us),
+            fmt(p.queue_wait_p999_us),
+            fmt(p.tail_ratio)
+        );
+    }
+    s
+}
+
 /// E15 sensitivity tornado as CSV (percent changes).
 pub fn sensitivity_csv(rows: &[SensitivityRow]) -> String {
     csv(
@@ -475,6 +581,65 @@ mod tests {
             min_borrower_gib_s: 7.9,
         }]);
         assert!(pl.contains("| pooling | LoadAware | 7.900 | 7.900 |"));
+    }
+
+    fn serve_point() -> ServeTailPoint {
+        ServeTailPoint {
+            period: 400,
+            contention: "mcbn".into(),
+            instances: 2,
+            policy: "open".into(),
+            offered_ops_s: 20_000.0,
+            arrivals: 1500,
+            admitted: 1500,
+            dropped: 0,
+            sojourn_mean_us: 21.35,
+            sojourn_p50_us: 12.5,
+            sojourn_p99_us: 58.72,
+            sojourn_p999_us: 146.8,
+            sojourn_max_us: 151.2,
+            queue_wait_mean_us: 9.8,
+            queue_wait_p999_us: 120.4,
+            tail_ratio: 6.876,
+        }
+    }
+
+    #[test]
+    fn serve_tail_renderers_put_tails_next_to_means() {
+        let md = serve_tail_md(&[serve_point()]);
+        assert!(md.starts_with(
+            "| PERIOD | contention | offered op/s | mean µs | p50 | p99 | p999 | max | p999/mean |"
+        ));
+        assert!(
+            md.contains("| 400 | mcbnx2 | 20000 | 21.4 | 12.5 | 58.7 | 146.8 | 151.2 | 6.876x |")
+        );
+
+        let c = serve_tail_csv(&[serve_point()]);
+        assert!(c.starts_with("period,contention,instances,policy,offered_ops_s,"));
+        assert!(c.contains(
+            "400,mcbn,2,open,20000,1500,1500,0,21.4,12.5,58.7,146.8,151.2,9.800,120.4,6.876"
+        ));
+
+        let mut uncontended = serve_point();
+        uncontended.contention = "none".into();
+        uncontended.instances = 0;
+        assert!(
+            serve_tail_md(&[uncontended]).contains("| none |"),
+            "no instance suffix on the uncontended row"
+        );
+    }
+
+    #[test]
+    fn admission_md_layout() {
+        let mut p = serve_point();
+        p.policy = "drop@8".into();
+        p.dropped = 19;
+        p.admitted = 1481;
+        let md = admission_md(&[p]);
+        assert!(md.starts_with(
+            "| policy | admitted | dropped | mean µs | p99 | p999 | wait p999 | p999/mean |"
+        ));
+        assert!(md.contains("| drop@8 | 1481 | 19 | 21.4 | 58.7 | 146.8 | 120.4 | 6.876x |"));
     }
 
     #[test]

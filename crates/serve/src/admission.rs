@@ -1,0 +1,145 @@
+//! Admission control for the open-loop engine.
+//!
+//! Under open-loop load the queue is the failure mode: once offered load
+//! crosses capacity, sojourn times grow without bound and p999 runs away
+//! from the mean. These policies decide, per arrival, whether a request
+//! enters the queue. The control signal is the instantaneous queue depth
+//! — the exact quantity the engine also exports as the
+//! `util.serve.qdepth` counter track, so a trace shows the same signal
+//! the policy acted on.
+
+use serde::Serialize;
+use thymesim_sim::Dur;
+
+/// What to do with one arrival, given the current queue depth.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Decision {
+    /// Enqueue now.
+    Admit,
+    /// Shed the request (the client gets an immediate error).
+    Drop,
+    /// Enqueue, but only become serviceable after the given pause.
+    Defer(Dur),
+}
+
+/// Admission policy, applied at arrival time.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub enum AdmissionPolicy {
+    /// Admit everything — the no-policy baseline whose tail the others
+    /// are measured against.
+    Open,
+    /// Tail drop: shed arrivals once the queue holds `queue_cap`
+    /// requests. Bounds queue wait (and therefore p999) directly.
+    Drop { queue_cap: u32 },
+    /// Backpressure: beyond the cap, arrivals are paced — each excess
+    /// request is deferred by `backoff × (excess + 1)`. Nothing is lost,
+    /// but burst edges are smeared out.
+    Throttle { queue_cap: u32, backoff: Dur },
+    /// Two lanes: lane 0 (the premium slice of the client population)
+    /// is always admitted; other lanes are tail-dropped beyond the cap.
+    Priority { queue_cap: u32 },
+}
+
+impl AdmissionPolicy {
+    /// Decide one arrival. `queue_depth` counts requests admitted but
+    /// not yet picked up by a worker; `lane` is the request's QoS lane
+    /// (0 is highest).
+    pub fn decide(&self, queue_depth: u64, lane: u32) -> Decision {
+        match *self {
+            AdmissionPolicy::Open => Decision::Admit,
+            AdmissionPolicy::Drop { queue_cap } => {
+                if queue_depth < queue_cap as u64 {
+                    Decision::Admit
+                } else {
+                    Decision::Drop
+                }
+            }
+            AdmissionPolicy::Throttle { queue_cap, backoff } => {
+                if queue_depth < queue_cap as u64 {
+                    Decision::Admit
+                } else {
+                    let excess = queue_depth - queue_cap as u64 + 1;
+                    Decision::Defer(Dur::ps(backoff.as_ps().saturating_mul(excess)))
+                }
+            }
+            AdmissionPolicy::Priority { queue_cap } => {
+                if lane == 0 || queue_depth < queue_cap as u64 {
+                    Decision::Admit
+                } else {
+                    Decision::Drop
+                }
+            }
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match *self {
+            AdmissionPolicy::Open => "open".into(),
+            AdmissionPolicy::Drop { queue_cap } => format!("drop@{queue_cap}"),
+            AdmissionPolicy::Throttle { queue_cap, .. } => format!("throttle@{queue_cap}"),
+            AdmissionPolicy::Priority { queue_cap } => format!("priority@{queue_cap}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_admits_any_depth() {
+        for depth in [0, 1, 10_000] {
+            assert_eq!(AdmissionPolicy::Open.decide(depth, 1), Decision::Admit);
+        }
+    }
+
+    #[test]
+    fn drop_sheds_at_the_cap() {
+        let p = AdmissionPolicy::Drop { queue_cap: 4 };
+        assert_eq!(p.decide(3, 1), Decision::Admit);
+        assert_eq!(p.decide(4, 1), Decision::Drop);
+        assert_eq!(p.decide(100, 0), Decision::Drop, "drop ignores lanes");
+    }
+
+    #[test]
+    fn throttle_paces_with_growing_backoff() {
+        let p = AdmissionPolicy::Throttle {
+            queue_cap: 2,
+            backoff: Dur::us(10),
+        };
+        assert_eq!(p.decide(1, 1), Decision::Admit);
+        assert_eq!(p.decide(2, 1), Decision::Defer(Dur::us(10)));
+        assert_eq!(
+            p.decide(5, 1),
+            Decision::Defer(Dur::us(40)),
+            "backoff scales with excess depth"
+        );
+    }
+
+    #[test]
+    fn priority_protects_lane_zero() {
+        let p = AdmissionPolicy::Priority { queue_cap: 4 };
+        assert_eq!(p.decide(100, 0), Decision::Admit, "lane 0 never shed");
+        assert_eq!(p.decide(3, 1), Decision::Admit);
+        assert_eq!(p.decide(4, 1), Decision::Drop);
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        assert_eq!(AdmissionPolicy::Open.label(), "open");
+        assert_eq!(AdmissionPolicy::Drop { queue_cap: 8 }.label(), "drop@8");
+        assert_eq!(
+            AdmissionPolicy::Throttle {
+                queue_cap: 8,
+                backoff: Dur::us(1)
+            }
+            .label(),
+            "throttle@8"
+        );
+        assert_eq!(
+            AdmissionPolicy::Priority { queue_cap: 6 }.label(),
+            "priority@6"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! # thymesim-serve
+//!
+//! The open-loop serving layer (§IV-D, extended): instead of a closed
+//! loop of clients that each wait for a reply before the next request,
+//! arrivals come from a deterministic *client population* on their own
+//! schedule. Queueing delay — invisible in a closed loop, dominant in
+//! production tails — becomes a measured quantity, and admission-control
+//! policies can be evaluated against it.
+//!
+//! * [`arrival`] — sharded Poisson client populations with diurnal and
+//!   spike shapes; millions of simulated users per point without
+//!   per-user state, byte-deterministic at any `--jobs`;
+//! * [`engine`] — the open-loop issue engine over the KV stack: a
+//!   calendar queue of admitted requests, an [`IssueRing`]-modelled
+//!   worker pool, and per-phase latency/counter telemetry;
+//! * [`admission`] — drop / throttle / priority-lane policies driven by
+//!   the live queue depth.
+//!
+//! [`IssueRing`]: thymesim_workloads::issue::IssueRing
+
+pub mod admission;
+pub mod arrival;
+pub mod engine;
+
+pub use admission::{AdmissionPolicy, Decision};
+pub use arrival::{ArrivalPattern, ClientPopulation};
+pub use engine::{ServeConfig, ServeProcess, ServeReport};

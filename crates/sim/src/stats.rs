@@ -249,6 +249,12 @@ impl Histogram {
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }
+    /// Extreme-tail quantile used by the open-loop serving reports. With
+    /// fewer than 1000 samples this lands in the maximum's bucket, so it
+    /// degrades gracefully toward `max()` on sparse histograms.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
 
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
@@ -662,6 +668,130 @@ mod tests {
                 let whole = histogram_of(&[a, b].concat());
                 prop_assert_eq!(ab.count(), whole.count());
                 prop_assert_eq!(ab.quantile(0.5), whole.quantile(0.5));
+            }
+        }
+    }
+
+    // The open-loop serving reports lean on extreme-tail quantiles
+    // (p999 on histograms that may hold only a few hundred samples, or
+    // whose mass sits many decades below a handful of outliers). These
+    // properties pin the tail behavior: monotone in q, exact when the
+    // values sit on bucket boundaries, and never more than one bucket
+    // width (1/32 relative) below the exact order statistic.
+    mod tail_quantiles {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Values biased toward heavy tails: linear-region smalls, a
+        /// mid-range band, and outliers spread across every exponent.
+        fn heavy_tailed() -> impl Strategy<Value = u64> {
+            prop_oneof![
+                0u64..32,
+                32u64..100_000,
+                100_000u64..10_000_000_000,
+                (0u32..63).prop_map(|e| 1u64 << e),
+            ]
+        }
+
+        proptest! {
+            #[test]
+            fn prop_quantile_is_monotone_in_q(
+                xs in proptest::collection::vec(heavy_tailed(), 1..200),
+                // Half-open on purpose (the vendored proptest has no
+                // inclusive f64 ranges); values ≥ 1.0 clamp to max and
+                // are covered by the boundary property below.
+                qs in proptest::collection::vec(0.0f64..1.0, 2..20),
+            ) {
+                let mut h = Histogram::new();
+                for &x in &xs {
+                    h.record(x);
+                }
+                let mut qs = qs;
+                qs.sort_by(f64::total_cmp);
+                let mut prev = h.min();
+                for &q in &qs {
+                    let v = h.quantile(q);
+                    prop_assert!(v >= prev, "quantile({}) = {} < earlier {}", q, v, prev);
+                    prop_assert!(v >= h.min() && v <= h.max());
+                    prev = v;
+                }
+            }
+
+            #[test]
+            fn prop_bucket_boundary_values_are_exact(
+                idxs in proptest::collection::vec(0usize..EXPS * SUBS, 1..100),
+            ) {
+                // Values sitting exactly on bucket lower bounds must be
+                // reported exactly at any quantile: the bucket scan
+                // returns lower bounds, and every recorded value *is*
+                // one (distinct boundaries live in distinct buckets).
+                let mut h = Histogram::new();
+                let mut vals: Vec<u64> =
+                    idxs.iter().map(|&i| Histogram::bucket_low(i)).collect();
+                for &v in &vals {
+                    h.record(v);
+                }
+                vals.sort_unstable();
+                for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                    let got = h.quantile(q);
+                    prop_assert!(
+                        vals.binary_search(&got).is_ok(),
+                        "quantile({}) = {} is not a recorded boundary value",
+                        q,
+                        got
+                    );
+                }
+            }
+
+            #[test]
+            fn prop_tail_quantile_relative_error_is_bounded(
+                xs in proptest::collection::vec(heavy_tailed(), 1..300),
+            ) {
+                let mut h = Histogram::new();
+                for &x in &xs {
+                    h.record(x);
+                }
+                let mut sorted = xs.clone();
+                sorted.sort_unstable();
+                for q in [0.5, 0.99, 0.999] {
+                    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+                    let exact = sorted[rank];
+                    let got = h.quantile(q);
+                    // The scan stops in the bucket holding the exact
+                    // order statistic and reports its lower bound
+                    // (clamped into [min, max]): never above the exact
+                    // value, below it by at most one bucket width.
+                    prop_assert!(got <= exact, "q={}: got {} > exact {}", q, got, exact);
+                    prop_assert!(
+                        exact - got <= got / 32 + 1,
+                        "q={}: {} under-reports {} by more than a bucket",
+                        q,
+                        got,
+                        exact
+                    );
+                }
+            }
+
+            #[test]
+            fn prop_sparse_histogram_p999_tracks_the_max_bucket(
+                xs in proptest::collection::vec(heavy_tailed(), 1..999),
+            ) {
+                // Below 1000 samples the 0.999 target rank *is* the
+                // maximum, so p999 must land in the max's bucket and
+                // sit between p99 and max.
+                let mut h = Histogram::new();
+                for &x in &xs {
+                    h.record(x);
+                }
+                let p999 = h.p999();
+                prop_assert!(p999 <= h.max());
+                prop_assert!(p999 >= h.p99());
+                prop_assert!(
+                    h.max() - p999 <= p999 / 32 + 1,
+                    "sparse p999 {} strayed from max {}",
+                    p999,
+                    h.max()
+                );
             }
         }
     }

@@ -80,6 +80,12 @@ pub struct PhaseSlice {
     /// Exact sum of the phase's observations, picoseconds.
     pub total_ps: u64,
     pub mean_ps: f64,
+    /// Tail quantiles of the phase's observations (bucket lower bounds,
+    /// like every histogram quantile): the serving-tail columns folded
+    /// per phase.
+    pub p99_ps: u64,
+    pub p999_ps: u64,
+    pub max_ps: u64,
 }
 
 impl PhaseSlice {
@@ -89,6 +95,9 @@ impl PhaseSlice {
             count: h.count(),
             total_ps: clamp(h.sum()),
             mean_ps: h.mean(),
+            p99_ps: h.p99(),
+            p999_ps: h.p999(),
+            max_ps: h.max(),
         }
     }
 
@@ -103,6 +112,9 @@ impl PhaseSlice {
             ("count".into(), Value::U64(self.count)),
             ("total_ps".into(), Value::U64(self.total_ps)),
             ("mean_ps".into(), Value::F64(self.mean_ps)),
+            ("p99_ps".into(), Value::U64(self.p99_ps)),
+            ("p999_ps".into(), Value::U64(self.p999_ps)),
+            ("max_ps".into(), Value::U64(self.max_ps)),
         ])
     }
 }
@@ -139,6 +151,12 @@ pub struct StageSlice {
     /// Exact sum of all observations, picoseconds.
     pub total_ps: u64,
     pub mean_ps: f64,
+    /// Tail quantiles next to the mean (histogram bucket lower bounds):
+    /// the open-loop campaign reads these per stage to see which stage
+    /// stretches the sojourn tail.
+    pub p99_ps: u64,
+    pub p999_ps: u64,
+    pub max_ps: u64,
     /// Fraction of the read-anatomy total ([`PointAttribution::read_total_ps`]);
     /// `None` outside the anatomy or when nothing was attributed.
     pub share: Option<f64>,
@@ -163,6 +181,9 @@ impl StageSlice {
             count: h.count(),
             total_ps: total,
             mean_ps: h.mean(),
+            p99_ps: h.p99(),
+            p999_ps: h.p999(),
+            max_ps: h.max(),
             share: share.then(|| total as f64 / read_total_ps as f64),
             phases,
         }
@@ -180,6 +201,9 @@ impl StageSlice {
             ("count".into(), Value::U64(self.count)),
             ("total_ps".into(), Value::U64(self.total_ps)),
             ("mean_ps".into(), Value::F64(self.mean_ps)),
+            ("p99_ps".into(), Value::U64(self.p99_ps)),
+            ("p999_ps".into(), Value::U64(self.p999_ps)),
+            ("max_ps".into(), Value::U64(self.max_ps)),
             (
                 "share".into(),
                 match self.share {
@@ -604,6 +628,32 @@ pub fn check_attribution(text: &str) -> Result<AttributionCheck, String> {
     Ok(out)
 }
 
+/// Validate the tail-quantile columns of one slice (stage or phase
+/// sub-slice): present, ordered `p99 ≤ p999 ≤ max`, and bounded by the
+/// slice's total. Histogram quantiles are bucket lower bounds, so the
+/// only exact invariants are the ordering ones.
+fn check_tails(ctx: &str, s: &Value, count: u64, total: u64) -> Result<(), String> {
+    let get = |field: &str| {
+        s.get(field)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{ctx}: missing {field}"))
+    };
+    let p99 = get("p99_ps")?;
+    let p999 = get("p999_ps")?;
+    let max = get("max_ps")?;
+    if !(p99 <= p999 && p999 <= max) {
+        return Err(format!(
+            "{ctx}: tail quantiles out of order (p99 {p99}, p999 {p999}, max {max})"
+        ));
+    }
+    if count > 0 && max > total {
+        return Err(format!(
+            "{ctx}: max_ps {max} exceeds the slice total {total}"
+        ));
+    }
+    Ok(())
+}
+
 /// Validate one point entry; returns the number of per-phase sub-slices
 /// it carries.
 fn check_point(sweep: &str, p: &Value) -> Result<usize, String> {
@@ -672,6 +722,7 @@ fn check_point(sweep: &str, p: &Value) -> Result<usize, String> {
                 ));
             }
         }
+        check_tails(&format!("{sweep}/{stage}"), s, count, total)?;
         if let Some(share) = s.get("share").and_then(Value::as_f64) {
             if !(0.0..=1.0).contains(&share) {
                 return Err(format!("{sweep}/{stage}: share {share} outside [0, 1]"));
@@ -717,6 +768,7 @@ fn check_point(sweep: &str, p: &Value) -> Result<usize, String> {
                     ));
                 }
             }
+            check_tails(&format!("{sweep}/{stage}/{label}"), e, pc, pt)?;
             phase_count_sum += pc;
             phase_total_sum += pt as u128;
             phase_slices += 1;
@@ -957,6 +1009,9 @@ mod tests {
                     "count": 2,
                     "total_ps": 10,
                     "mean_ps": 5.0,
+                    "p99_ps": 5,
+                    "p999_ps": 5,
+                    "max_ps": 5,
                     "share": 1.0,
                     "phases": [{slice_phases}]
                 }}],
@@ -980,7 +1035,7 @@ mod tests {
         let index = r#"{"phase": "copy", "read_total_ps": 10}"#;
         let good = mini_attribution(
             index,
-            r#"{"phase": "copy", "count": 2, "total_ps": 10, "mean_ps": 5.0}"#,
+            r#"{"phase": "copy", "count": 2, "total_ps": 10, "mean_ps": 5.0, "p99_ps": 5, "p999_ps": 5, "max_ps": 5}"#,
         );
         let stats = check_attribution(&good).expect("well-formed phases pass");
         assert_eq!(stats.phases, 1);
@@ -988,7 +1043,7 @@ mod tests {
         // Orphan: slice names a phase the point's index never declared.
         let orphan = mini_attribution(
             index,
-            r#"{"phase": "ghost", "count": 2, "total_ps": 10, "mean_ps": 5.0}"#,
+            r#"{"phase": "ghost", "count": 2, "total_ps": 10, "mean_ps": 5.0, "p99_ps": 5, "p999_ps": 5, "max_ps": 5}"#,
         );
         let err = check_attribution(&orphan).unwrap_err();
         assert!(err.contains("orphan phase"), "{err}");
@@ -996,7 +1051,7 @@ mod tests {
         // Phase totals exceeding the stage total are rejected.
         let exceed = mini_attribution(
             r#"{"phase": "copy", "read_total_ps": 13}"#,
-            r#"{"phase": "copy", "count": 2, "total_ps": 13, "mean_ps": 6.5}"#,
+            r#"{"phase": "copy", "count": 2, "total_ps": 13, "mean_ps": 6.5, "p99_ps": 7, "p999_ps": 7, "max_ps": 7}"#,
         );
         let err = check_attribution(&exceed).unwrap_err();
         assert!(err.contains("phase totals sum to 13"), "{err}");
@@ -1004,7 +1059,7 @@ mod tests {
         // So are partitions that drop observations (counts short).
         let short = mini_attribution(
             index,
-            r#"{"phase": "copy", "count": 1, "total_ps": 10, "mean_ps": 10.0}"#,
+            r#"{"phase": "copy", "count": 1, "total_ps": 10, "mean_ps": 10.0, "p99_ps": 10, "p999_ps": 10, "max_ps": 10}"#,
         );
         let err = check_attribution(&short).unwrap_err();
         assert!(err.contains("phase counts sum to 1"), "{err}");
@@ -1012,7 +1067,7 @@ mod tests {
         // Index totals must reproduce from the anatomy sub-totals.
         let inflated = mini_attribution(
             r#"{"phase": "copy", "read_total_ps": 9}"#,
-            r#"{"phase": "copy", "count": 2, "total_ps": 10, "mean_ps": 5.0}"#,
+            r#"{"phase": "copy", "count": 2, "total_ps": 10, "mean_ps": 5.0, "p99_ps": 5, "p999_ps": 5, "max_ps": 5}"#,
         );
         let err = check_attribution(&inflated).unwrap_err();
         assert!(err.contains("phase index claims 9"), "{err}");
@@ -1020,10 +1075,40 @@ mod tests {
         // Duplicate index labels are rejected.
         let dup = mini_attribution(
             r#"{"phase": "copy", "read_total_ps": 10}, {"phase": "copy", "read_total_ps": 0}"#,
-            r#"{"phase": "copy", "count": 2, "total_ps": 10, "mean_ps": 5.0}"#,
+            r#"{"phase": "copy", "count": 2, "total_ps": 10, "mean_ps": 5.0, "p99_ps": 5, "p999_ps": 5, "max_ps": 5}"#,
         );
         let err = check_attribution(&dup).unwrap_err();
         assert!(err.contains("duplicate phase"), "{err}");
+    }
+
+    #[test]
+    fn checker_rejects_disordered_or_missing_tails() {
+        let index = r#"{"phase": "copy", "read_total_ps": 10}"#;
+        // p999 below p99 is a broken fold.
+        let disordered = mini_attribution(
+            index,
+            r#"{"phase": "copy", "count": 2, "total_ps": 10, "mean_ps": 5.0,
+                "p99_ps": 6, "p999_ps": 5, "max_ps": 6}"#,
+        );
+        let err = check_attribution(&disordered).unwrap_err();
+        assert!(err.contains("tail quantiles out of order"), "{err}");
+
+        // A max above the slice total is impossible for latencies.
+        let oversized = mini_attribution(
+            index,
+            r#"{"phase": "copy", "count": 2, "total_ps": 10, "mean_ps": 5.0,
+                "p99_ps": 5, "p999_ps": 5, "max_ps": 11}"#,
+        );
+        let err = check_attribution(&oversized).unwrap_err();
+        assert!(err.contains("exceeds the slice total"), "{err}");
+
+        // The columns are part of the schema, not optional.
+        let missing = mini_attribution(
+            index,
+            r#"{"phase": "copy", "count": 2, "total_ps": 10, "mean_ps": 5.0}"#,
+        );
+        let err = check_attribution(&missing).unwrap_err();
+        assert!(err.contains("missing p99_ps"), "{err}");
     }
 
     #[test]

@@ -23,7 +23,8 @@ use crate::counters::SweepUtilization;
 use serde::{Deserialize, Serialize};
 
 /// Bump when the baseline file format changes.
-pub const BASELINE_SCHEMA: u64 = 1;
+/// Schema 2 added the per-stage `p999_ps` tail band.
+pub const BASELINE_SCHEMA: u64 = 2;
 
 /// Default relative tolerance band on stage means and counts (±2%).
 pub const DEFAULT_REL_TOL: f64 = 0.02;
@@ -45,6 +46,10 @@ pub struct BaselineStage {
     pub stage: String,
     pub mean_ps: f64,
     pub count: u64,
+    /// Pinned p999 of the stage (histogram bucket lower bound, ps). A
+    /// fattened tail with an unmoved mean — exactly what the open-loop
+    /// serving campaign measures — drifts here and nowhere else.
+    pub p999_ps: u64,
     /// Relative tolerance band for this stage (fraction, not percent).
     pub rel_tol: f64,
     /// Per-phase bands, label-sorted: a drift confined to one workload
@@ -120,6 +125,7 @@ impl Baseline {
                             stage: s.stage.clone(),
                             mean_ps: s.mean_ps,
                             count: s.count,
+                            p999_ps: s.p999_ps,
                             rel_tol,
                             phases: {
                                 let mut phases: Vec<BaselinePhase> = s
@@ -188,6 +194,22 @@ impl Baseline {
                     slice.mean_ps,
                     slice.count,
                 ));
+                // Tail band: a p999 moving while the mean holds is the
+                // tail-column regression the serving campaign gates on.
+                let tail_delta = rel_delta(slice.p999_ps as f64, bs.p999_ps as f64);
+                if tail_delta > bs.rel_tol {
+                    drifts.push(Drift {
+                        sweep: base.sweep.clone(),
+                        stage: bs.stage.clone(),
+                        phase: None,
+                        kind: DriftKind::TailDrift {
+                            baseline_ps: bs.p999_ps,
+                            actual_ps: slice.p999_ps,
+                            rel_delta: tail_delta,
+                            rel_tol: bs.rel_tol,
+                        },
+                    });
+                }
                 // Per-phase bands within the stage.
                 for bp in &bs.phases {
                     let Some(ph) = slice.phase(&bp.phase) else {
@@ -387,6 +409,14 @@ pub enum DriftKind {
         rel_delta: f64,
         rel_tol: f64,
     },
+    /// The stage's p999 left its band while (typically) the mean held:
+    /// the tail fattened or thinned.
+    TailDrift {
+        baseline_ps: u64,
+        actual_ps: u64,
+        rel_delta: f64,
+        rel_tol: f64,
+    },
 }
 
 impl std::fmt::Display for Drift {
@@ -427,6 +457,18 @@ impl std::fmt::Display for Drift {
                 f,
                 "count {actual} vs baseline {baseline} ({:+.2}%, tolerance ±{:.2}%)",
                 rel_delta * 100.0 * if actual >= baseline { 1.0 } else { -1.0 },
+                rel_tol * 100.0
+            ),
+            DriftKind::TailDrift {
+                baseline_ps,
+                actual_ps,
+                rel_delta,
+                rel_tol,
+            } => write!(
+                f,
+                "p999 {actual_ps} ps vs baseline {baseline_ps} ps \
+                 ({:+.2}%, tolerance ±{:.2}%)",
+                rel_delta * 100.0 * if actual_ps >= baseline_ps { 1.0 } else { -1.0 },
                 rel_tol * 100.0
             ),
         }
@@ -499,8 +541,18 @@ mod tests {
         )];
         let drifts = b.check(&atts, &[]);
         assert!(!drifts.is_empty(), "stage mean alone would pass");
-        assert!(drifts.iter().all(|d| d.phase.is_some()));
-        let msg = drifts[0].to_string();
+        // The stage-level mean/count bands stay silent (only the p999
+        // band may fire at stage level — the tail genuinely fattened);
+        // the shift itself is caught and named per phase.
+        assert!(drifts
+            .iter()
+            .filter(|d| d.phase.is_none())
+            .all(|d| matches!(d.kind, DriftKind::TailDrift { .. })));
+        let phased = drifts
+            .iter()
+            .find(|d| d.phase.is_some())
+            .expect("per-phase");
+        let msg = phased.to_string();
         assert!(
             msg.contains("[phase copy]") || msg.contains("[phase scale]"),
             "phase must be named: {msg}"
@@ -529,10 +581,12 @@ mod tests {
         assert!(drifts.iter().any(|d| d.stage == "fabric.gate_wait"));
         let msg = drifts[0].to_string();
         assert!(msg.contains("tolerance"), "humane message: {msg}");
-        // Counts were unchanged, so every drift is a mean drift.
-        assert!(drifts
-            .iter()
-            .all(|d| matches!(d.kind, DriftKind::MeanDrift { .. })));
+        // Counts were unchanged, so the drifts are mean drifts plus the
+        // tails that moved with them — never count drifts.
+        assert!(drifts.iter().all(|d| matches!(
+            d.kind,
+            DriftKind::MeanDrift { .. } | DriftKind::TailDrift { .. }
+        )));
     }
 
     #[test]
@@ -543,6 +597,7 @@ mod tests {
             stage: "ghost.stage".into(),
             mean_ps: 5.0,
             count: 1,
+            p999_ps: 5,
             rel_tol: DEFAULT_REL_TOL,
             phases: Vec::new(),
         });
@@ -561,6 +616,39 @@ mod tests {
         assert!(drifts
             .iter()
             .any(|d| d.stage == "brand.new" && matches!(d.kind, DriftKind::NewStage { .. })));
+    }
+
+    #[test]
+    fn tail_drift_is_caught_when_the_mean_holds() {
+        // Two observations of 10 ns: mean 10 ns, p999 = max = 10 ns.
+        let mk = |a_ns: u64, b_ns: u64| {
+            let mut r = TraceRecorder::new(0, 10);
+            r.latency("fabric.gate_wait", Dur::ns(a_ns));
+            r.latency("fabric.gate_wait", Dur::ns(b_ns));
+            vec![SweepAttribution::fold("sw", 1, &[r.finish()], &[])]
+        };
+        let b = Baseline::record("cmd", &mk(10, 10), &[], DEFAULT_REL_TOL);
+        assert!(b.check(&mk(10, 10), &[]).is_empty());
+        // 5 + 15 ns: same mean and count, but the tail fattened 50%.
+        let drifts = b.check(&mk(5, 15), &[]);
+        assert!(
+            drifts
+                .iter()
+                .any(|d| matches!(d.kind, DriftKind::TailDrift { .. })),
+            "only the p999 band can catch this: {drifts:?}"
+        );
+        assert!(
+            !drifts
+                .iter()
+                .any(|d| matches!(d.kind, DriftKind::MeanDrift { .. }) && d.phase.is_none()),
+            "the stage mean genuinely held: {drifts:?}"
+        );
+        let msg = drifts
+            .iter()
+            .find(|d| matches!(d.kind, DriftKind::TailDrift { .. }))
+            .unwrap()
+            .to_string();
+        assert!(msg.contains("p999"), "humane message: {msg}");
     }
 
     #[test]

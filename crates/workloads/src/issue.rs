@@ -1,13 +1,15 @@
-//! Issue-window bookkeeping shared by the workloads: an MSHR-style model
+//! Issue-side bookkeeping shared by the workloads: an MSHR-style model
 //! of a core (or SMT context) that can keep `cap` cache-line fetches
-//! outstanding. Streaming kernels use a large window (hardware prefetch
-//! saturates the NIC credits), pointer-chasing workloads a small one —
-//! the distinction that drives the paper's Redis-vs-Graph500 divergence.
+//! outstanding, plus the key-popularity sampler shared by the closed-loop
+//! memtier client and the open-loop serving engine. Streaming kernels use
+//! a large window (hardware prefetch saturates the NIC credits),
+//! pointer-chasing workloads a small one — the distinction that drives
+//! the paper's Redis-vs-Graph500 divergence.
 //!
 //! Only *misses* occupy slots; hits retire immediately in the cache.
 
 use std::collections::VecDeque;
-use thymesim_sim::Time;
+use thymesim_sim::{Time, Xoshiro256};
 
 /// A sliding window of in-flight access completion times.
 #[derive(Clone, Debug)]
@@ -57,9 +59,81 @@ impl IssueRing {
     }
 }
 
+/// Key-selection distribution (memtier supports uniform and skewed
+/// patterns; skew determines how much of the working set stays hot and
+/// therefore LLC-resident).
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipf-distributed popularity with the given exponent (~0.99 is the
+    /// classic web-cache skew).
+    Zipf { exponent: f64 },
+}
+
+/// A sampler for a key distribution, shared by the closed-loop memtier
+/// client (`kv::run_memtier`) and the open-loop serving engine so both
+/// draw from identical popularity curves.
+pub struct KeySampler {
+    /// Cumulative popularity over key ranks; empty for uniform.
+    cdf: Vec<f64>,
+    keys: u64,
+}
+
+impl KeySampler {
+    pub fn new(dist: KeyDist, keys: u64) -> KeySampler {
+        let cdf = match dist {
+            KeyDist::Uniform => Vec::new(),
+            KeyDist::Zipf { exponent } => {
+                assert!(exponent > 0.0, "Zipf exponent must be positive");
+                let mut acc = 0.0;
+                let mut cdf = Vec::with_capacity(keys as usize);
+                for rank in 1..=keys {
+                    acc += 1.0 / (rank as f64).powf(exponent);
+                    cdf.push(acc);
+                }
+                let total = acc;
+                for v in cdf.iter_mut() {
+                    *v /= total;
+                }
+                cdf
+            }
+        };
+        KeySampler { cdf, keys }
+    }
+
+    pub fn sample(&self, rng: &mut Xoshiro256) -> u64 {
+        if self.cdf.is_empty() {
+            rng.below(self.keys)
+        } else {
+            let u = rng.next_f64();
+            // Rank by popularity; the store's keys are already hashed, so
+            // rank == key id is fine (no accidental spatial locality).
+            self.cdf.partition_point(|&c| c < u) as u64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn zipf_sampler_is_heavily_skewed() {
+        let sampler = KeySampler::new(KeyDist::Zipf { exponent: 1.0 }, 10_000);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut top100 = 0u64;
+        let n = 50_000;
+        for _ in 0..n {
+            if sampler.sample(&mut rng) < 100 {
+                top100 += 1;
+            }
+        }
+        // Under Zipf(1.0) over 10k keys, the top-100 ranks carry ~53% of
+        // the mass; uniform would give 1%.
+        let share = top100 as f64 / n as f64;
+        assert!((0.4..0.65).contains(&share), "top-100 share {share}");
+    }
 
     #[test]
     fn issues_freely_until_full() {

@@ -13,23 +13,16 @@
 //!
 //! The store is real: SETs write patterned bytes, GETs verify them.
 
-use crate::issue::IssueRing;
+use crate::issue::{IssueRing, KeySampler};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use thymesim_mem::{Addr, Arena, MemSystem, RemoteBackend, SimVec};
 use thymesim_sim::{Dur, Histogram, SplitMix64, Time, Xoshiro256};
 
-/// Key-selection distribution (memtier supports uniform and skewed
-/// patterns; skew determines how much of the working set stays hot and
-/// therefore LLC-resident).
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
-pub enum KeyDist {
-    /// Every key equally likely.
-    Uniform,
-    /// Zipf-distributed popularity with the given exponent (~0.99 is the
-    /// classic web-cache skew).
-    Zipf { exponent: f64 },
-}
+// The sampler and its distribution enum live in `issue.rs` so the
+// open-loop serving engine shares them; re-exported here because the
+// memtier configuration is where users expect to find them.
+pub use crate::issue::KeyDist;
 
 /// Workload configuration.
 #[derive(Clone, Copy, Debug, serde::Serialize)]
@@ -273,47 +266,6 @@ pub struct KvReport {
     pub elapsed: Dur,
 }
 
-/// A sampler for the configured key distribution.
-struct KeySampler {
-    /// Cumulative popularity over key ranks; empty for uniform.
-    cdf: Vec<f64>,
-    keys: u64,
-}
-
-impl KeySampler {
-    fn new(dist: KeyDist, keys: u64) -> KeySampler {
-        let cdf = match dist {
-            KeyDist::Uniform => Vec::new(),
-            KeyDist::Zipf { exponent } => {
-                assert!(exponent > 0.0, "Zipf exponent must be positive");
-                let mut acc = 0.0;
-                let mut cdf = Vec::with_capacity(keys as usize);
-                for rank in 1..=keys {
-                    acc += 1.0 / (rank as f64).powf(exponent);
-                    cdf.push(acc);
-                }
-                let total = acc;
-                for v in cdf.iter_mut() {
-                    *v /= total;
-                }
-                cdf
-            }
-        };
-        KeySampler { cdf, keys }
-    }
-
-    fn sample(&self, rng: &mut Xoshiro256) -> u64 {
-        if self.cdf.is_empty() {
-            rng.below(self.keys)
-        } else {
-            let u = rng.next_f64();
-            // Rank by popularity; the store's keys are already hashed, so
-            // rank == key id is fine (no accidental spatial locality).
-            self.cdf.partition_point(|&c| c < u) as u64
-        }
-    }
-}
-
 /// Run the closed-loop benchmark against a built store.
 pub fn run_memtier<R: RemoteBackend>(
     cfg: &KvConfig,
@@ -542,23 +494,6 @@ mod tests {
             zipf_hits > uniform_hits + 0.05,
             "skewed keys should hit the cache more: {zipf_hits} vs {uniform_hits}"
         );
-    }
-
-    #[test]
-    fn zipf_sampler_is_heavily_skewed() {
-        let sampler = KeySampler::new(KeyDist::Zipf { exponent: 1.0 }, 10_000);
-        let mut rng = Xoshiro256::seed_from_u64(3);
-        let mut top100 = 0u64;
-        let n = 50_000;
-        for _ in 0..n {
-            if sampler.sample(&mut rng) < 100 {
-                top100 += 1;
-            }
-        }
-        // Under Zipf(1.0) over 10k keys, the top-100 ranks carry ~53% of
-        // the mass; uniform would give 1%.
-        let share = top100 as f64 / n as f64;
-        assert!((0.4..0.65).contains(&share), "top-100 share {share}");
     }
 
     #[test]

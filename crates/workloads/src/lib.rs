@@ -21,7 +21,8 @@ pub mod stream;
 pub mod trace;
 
 pub use graph500::{Graph500Config, Graph500Report};
-pub use kv::{KeyDist, KvConfig, KvReport, KvStore};
+pub use issue::{IssueRing, KeyDist, KeySampler};
+pub use kv::{KvConfig, KvReport, KvStore};
 pub use pagerank::{pagerank, PageRankConfig, PageRankReport, PageRankState};
 pub use probe::{ChaseTable, ProbeConfig, ProbeReport};
 pub use stream::{Kernel, StreamArrays, StreamConfig, StreamProcess, StreamReport, KERNELS};

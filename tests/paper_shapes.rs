@@ -387,3 +387,92 @@ fn injected_range_matches_datacenter_percentiles() {
     assert!(profile.percentile_of(hi) <= 0.95);
     assert!(profile.percentile_of(Dur::ms(4)) > 0.999);
 }
+
+/// §V (serving extension, E17): under open-loop load the tail/mean
+/// divergence grows along *both* stress axes — delay (PERIOD) and
+/// contention — even where the mean barely moves.
+#[test]
+fn serve_tail_diverges_along_delay_and_contention() {
+    let serve = ServeConfig {
+        arrivals: 1500,
+        ..ServeConfig::tiny()
+    };
+    let base = TestbedConfig::tiny();
+
+    // Delay axis: at a fixed offered rate, p999/mean strictly grows
+    // with PERIOD — queueing amplifies what the mean only hints at.
+    let points = serve_tail(
+        &base,
+        &serve,
+        &stream_cfg(),
+        &[1, 100, 400],
+        &[(ServeContention::None, 0)],
+        &[60_000.0],
+    );
+    assert_eq!(points.len(), 3);
+    for w in points.windows(2) {
+        assert!(
+            w[1].tail_ratio > w[0].tail_ratio,
+            "tail/mean must grow with PERIOD: {} !> {} (PERIOD {} vs {})",
+            w[1].tail_ratio,
+            w[0].tail_ratio,
+            w[1].period,
+            w[0].period
+        );
+    }
+
+    // Contention axis: at a fixed PERIOD, p999 fattens monotonically
+    // with instance count on each side (MCBN borrower-NIC, MCLN
+    // lender-bus), and every contended point sits above the clean one.
+    let contention = [
+        (ServeContention::None, 0),
+        (ServeContention::Mcbn, 1),
+        (ServeContention::Mcbn, 2),
+        (ServeContention::Mcln, 2),
+        (ServeContention::Mcln, 6),
+    ];
+    let points = serve_tail(
+        &base,
+        &serve,
+        &stream_cfg(),
+        &[100],
+        &contention,
+        &[20_000.0],
+    );
+    let p999 = |label: &str, n: usize| {
+        points
+            .iter()
+            .find(|p| p.contention == label && p.instances == n)
+            .unwrap()
+            .sojourn_p999_us
+    };
+    let clean = p999("none", 0);
+    assert!(p999("mcbn", 1) > clean && p999("mcbn", 2) > p999("mcbn", 1));
+    assert!(p999("mcln", 2) > clean && p999("mcln", 6) > p999("mcln", 2));
+}
+
+/// E17's policy claim: admission control measurably caps p999 at an
+/// overloaded point where the open-loop queue otherwise runs away.
+#[test]
+fn serve_admission_caps_the_tail() {
+    let serve = ServeConfig {
+        arrivals: 1500,
+        ..ServeConfig::tiny()
+    }
+    .with_offered_rate(100_000.0);
+    let policies = [
+        AdmissionPolicy::Open,
+        AdmissionPolicy::Drop { queue_cap: 8 },
+    ];
+    let points = admission_study(&TestbedConfig::tiny(), &serve, 400, &policies);
+    let open = &points[0];
+    let drop = &points[1];
+    assert!(drop.dropped > 0, "overload must actually shed load");
+    assert!(
+        drop.sojourn_p999_us < open.sojourn_p999_us * 0.5,
+        "drop-at-{} must at least halve the open-loop p999 ({} vs {})",
+        8,
+        drop.sojourn_p999_us,
+        open.sojourn_p999_us
+    );
+}

@@ -79,3 +79,36 @@ fn cached_rerun_is_identical_and_simulates_nothing() {
     assert_eq!(after, before, "a fully cached re-run must simulate nothing");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn serve_tail_jobs_1_and_jobs_8_are_byte_identical() {
+    let _guard = options_lock();
+    let base = TestbedConfig::tiny();
+    let serve = ServeConfig {
+        arrivals: 400,
+        ..ServeConfig::tiny()
+    };
+    let run_at = |jobs: usize| {
+        sweep::configure(SweepOptions {
+            jobs,
+            cache: None,
+            progress: false,
+        });
+        let points = serve_tail(
+            &base,
+            &serve,
+            &stream_cfg(),
+            &[1, 100],
+            &[(ServeContention::None, 0), (ServeContention::Mcbn, 1)],
+            &[20_000.0],
+        );
+        report::to_json(&points)
+    };
+    let serial = run_at(1);
+    let parallel = run_at(8);
+    sweep::configure(SweepOptions::default());
+    assert_eq!(
+        serial, parallel,
+        "serve_tail must render byte-identical JSON at any --jobs"
+    );
+}
